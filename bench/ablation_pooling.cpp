@@ -1,0 +1,131 @@
+// Ablation (paper §V): memory borrowing vs memory pooling.
+//
+// Borrowing: each borrower reaches a full lender *server* whose memory bus
+// (~140 GB/s) dwarfs the network -- lender-side contention is invisible
+// (Fig. 7).  Pooling: borrowers share a CPU-less memory pool whose
+// controller has DDR-channel-class bandwidth; as borrowers multiply, the
+// bottleneck shifts from each borrower's network link to the pool itself,
+// exactly the shift the paper predicts would change its §IV-E conclusions.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "mem/dram.hpp"
+#include "net/network.hpp"
+#include "node/node.hpp"
+#include "sim/engine.hpp"
+#include "workloads/stream/stream_flow.hpp"
+
+using namespace tfsim;
+
+namespace {
+
+constexpr int kBorrowerCounts[] = {1, 2, 4, 8};
+
+struct Row {
+  int borrowers;
+  double borrowing_per_instance_gbps;
+  double pooling_per_instance_gbps;
+};
+std::vector<Row> g_rows;
+
+/// Build N borrowers attached to one memory target and measure per-instance
+/// streaming bandwidth.  `target_bw` distinguishes a lender server's bus
+/// from a pool controller.
+double run_scenario(int n, sim::Bandwidth target_bw) {
+  sim::Engine engine;
+  net::Network network;
+
+  mem::DramConfig target_dram_cfg;
+  target_dram_cfg.bus_bandwidth = target_bw;
+  mem::Dram target(target_dram_cfg, "memory-target");
+  const net::NodeId target_id = network.add_node("memory-target");
+
+  struct Borrower {
+    std::unique_ptr<nic::DisaggNic> nic;
+    std::unique_ptr<workloads::RemoteStreamFlow> flow;
+  };
+  std::vector<Borrower> borrowers;
+  const sim::Time measure_end = sim::from_ms(20.0);
+
+  for (int i = 0; i < n; ++i) {
+    const net::NodeId bid = network.add_node("borrower" + std::to_string(i));
+    network.connect(bid, target_id, net::LinkConfig{});
+    network.connect(target_id, bid, net::LinkConfig{});
+
+    nic::NicConfig ncfg;
+    Borrower b;
+    b.nic = std::make_unique<nic::DisaggNic>(ncfg, network, bid);
+    b.nic->register_lender(0, target_id, &target);
+    b.nic->translator().add_segment(nic::Segment{
+        mem::Range{0x1000'0000, sim::kGiB}, 0, 0, "pool-slice"});
+    b.nic->attach();
+
+    workloads::FlowConfig fcfg;
+    fcfg.concurrency = 32;
+    fcfg.base = 0x1000'0000;
+    fcfg.span_bytes = 512 * sim::kMiB;
+    fcfg.stop_at = measure_end;
+    b.flow = std::make_unique<workloads::RemoteStreamFlow>(engine, *b.nic, fcfg);
+    borrowers.push_back(std::move(b));
+  }
+
+  for (auto& b : borrowers) b.flow->start();
+  engine.run();
+
+  double total = 0.0;
+  for (auto& b : borrowers) {
+    total += b.flow->stats().bandwidth_gbps(measure_end);
+  }
+  return total / n;
+}
+
+void BM_Pooling(benchmark::State& state) {
+  const int n = kBorrowerCounts[state.range(0)];
+  for (auto _ : state) {
+    Row row{};
+    row.borrowers = n;
+    // Borrowing: lender server bus, 140 GB/s.
+    row.borrowing_per_instance_gbps =
+        run_scenario(n, sim::Bandwidth::from_gbyte(140.0));
+    // Pooling: CPU-less pool controller, ~one DDR4 channel pair.
+    row.pooling_per_instance_gbps =
+        run_scenario(n, sim::Bandwidth::from_gbyte(16.0));
+    state.counters["borrowing_gbps"] = row.borrowing_per_instance_gbps;
+    state.counters["pooling_gbps"] = row.pooling_per_instance_gbps;
+    g_rows.push_back(row);
+  }
+}
+BENCHMARK(BM_Pooling)
+    ->DenseRange(0, static_cast<int>(std::size(kBorrowerCounts)) - 1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
+
+void print_table() {
+  core::Table table(
+      "Ablation: borrowing (140 GB/s lender bus) vs pooling (16 GB/s pool)",
+      {"borrowers", "borrowing: per-instance GB/s", "pooling: per-instance GB/s"});
+  for (const auto& r : g_rows) {
+    table.row({std::to_string(r.borrowers),
+               core::Table::num(r.borrowing_per_instance_gbps, 3),
+               core::Table::num(r.pooling_per_instance_gbps, 3)});
+  }
+  table.print();
+  table.to_csv(bench::csv_path("ablation_pooling.csv"));
+  std::puts("Borrowing stays network-bound (flat per-instance bandwidth);"
+            " pooling collapses once aggregate demand exceeds the pool"
+            " controller -- the bottleneck shift of §V.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// google-benchmark owns argv, so experiment sizing comes from environment
+// variables (defaults reproduce the paper's shapes at laptop-friendly
+// sizes; set TFSIM_FULL=1 for the paper's exact workload sizes):
+//   TFSIM_STREAM_ELEMENTS   STREAM array elements        (default 10000000)
+//   TFSIM_GRAPH_SCALE       Graph500 scale               (default 19; paper 20)
+//   TFSIM_GRAPH_EDGEFACTOR  Graph500 edgefactor          (default 16)
+//   TFSIM_KV_KEYS           KV-store key space           (default 200000)
+//   TFSIM_KV_REQUESTS       Memtier requests per client  (default 200; paper 10000)
+//   TFSIM_CSV_DIR           where to mirror result CSVs  (default ".")
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/graph500/graph500.hpp"
+#include "workloads/kvstore/memtier.hpp"
+#include "workloads/stream/stream.hpp"
+
+namespace tfsim::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  if (const char* v = std::getenv(name)) {
+    return std::strtoull(v, nullptr, 10);
+  }
+  return def;
+}
+
+inline bool full_size() { return env_u64("TFSIM_FULL", 0) != 0; }
+
+inline workloads::StreamConfig stream_config() {
+  workloads::StreamConfig cfg;
+  cfg.elements = env_u64("TFSIM_STREAM_ELEMENTS", 10'000'000);
+  return cfg;
+}
+
+inline workloads::g500::Graph500Config graph_config() {
+  workloads::g500::Graph500Config cfg;
+  cfg.gen.scale = static_cast<std::uint32_t>(
+      env_u64("TFSIM_GRAPH_SCALE", full_size() ? 20 : 19));
+  cfg.gen.edgefactor =
+      static_cast<std::uint32_t>(env_u64("TFSIM_GRAPH_EDGEFACTOR", 16));
+  return cfg;
+}
+
+inline workloads::kv::KvStoreConfig kv_store_config() {
+  workloads::kv::KvStoreConfig cfg;
+  return cfg;
+}
+
+inline workloads::kv::MemtierConfig memtier_config() {
+  workloads::kv::MemtierConfig cfg;
+  cfg.key_space = env_u64("TFSIM_KV_KEYS", 200'000);
+  cfg.requests_per_client =
+      env_u64("TFSIM_KV_REQUESTS", full_size() ? 10'000 : 200);
+  return cfg;
+}
+
+inline std::string csv_path(const std::string& file) {
+  std::string dir = ".";
+  if (const char* v = std::getenv("TFSIM_CSV_DIR")) dir = v;
+  return dir + "/" + file;
+}
+
+}  // namespace tfsim::bench

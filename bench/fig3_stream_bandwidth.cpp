@@ -1,0 +1,82 @@
+// Figure 3: bandwidth measured by STREAM for varying delay injection.
+//
+// Consumed bandwidth drops rapidly with added delay while the
+// bandwidth-delay product stays roughly constant (~16.5 kB on the paper's
+// testbed): the injector throttles admission, it does not shrink the
+// outstanding-request window.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+
+using namespace tfsim;
+
+namespace {
+
+constexpr std::uint64_t kPeriods[] = {1, 2, 5, 10, 20, 50, 100, 200, 400};
+
+struct Row {
+  std::uint64_t period;
+  double bandwidth_gbps;
+  double latency_us;
+  double bdp_kb;
+};
+std::vector<Row> g_rows;
+
+void BM_StreamBandwidth(benchmark::State& state) {
+  const std::uint64_t period = kPeriods[state.range(0)];
+  for (auto _ : state) {
+    core::SessionConfig cfg;
+    cfg.period = period;
+    core::Session session(cfg);
+    const auto res = session.run_stream(bench::stream_config());
+    // Pair each kernel's own bandwidth and latency (copy is the canonical
+    // STREAM line in the paper's plot).
+    const auto& k = res.kernel("copy");
+    Row row{period, k.bandwidth_gbps, k.avg_latency_us,
+            core::bdp_kb(k.bandwidth_gbps, k.avg_latency_us)};
+    state.counters["bw_gbps"] = row.bandwidth_gbps;
+    state.counters["bdp_kb"] = row.bdp_kb;
+    g_rows.push_back(row);
+  }
+}
+BENCHMARK(BM_StreamBandwidth)
+    ->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"idx"});
+
+void print_table() {
+  core::Table table(
+      "Figure 3: STREAM bandwidth vs injection PERIOD (copy kernel)",
+      {"PERIOD", "bandwidth (GB/s)", "latency (us)", "BDP (kB)"});
+  double bdp_min = 1e30, bdp_max = 0;
+  for (const auto& r : g_rows) {
+    table.row({std::to_string(r.period), core::Table::num(r.bandwidth_gbps, 3),
+               core::Table::num(r.latency_us, 2), core::Table::num(r.bdp_kb, 1)});
+    if (r.period > 1) {  // saturated regime
+      bdp_min = std::min(bdp_min, r.bdp_kb);
+      bdp_max = std::max(bdp_max, r.bdp_kb);
+    }
+  }
+  table.print();
+  table.to_csv(bench::csv_path("fig3_stream_bandwidth.csv"));
+  std::printf("BDP across saturated sweep: %.1f - %.1f kB"
+              " (paper: roughly constant at ~16.5 kB)\n",
+              bdp_min, bdp_max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 6: contention for bandwidth at the borrower node (MCBN).
+//
+// N concurrent STREAM instances run on the borrower, all using
+// disaggregated memory from the lender.  They compete for the bottleneck
+// network bandwidth, so per-instance bandwidth is ~total/N (the round-robin
+// egress divides it equally) while aggregate stays flat.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "node/testbed.hpp"
+#include "workloads/stream/stream_flow.hpp"
+
+using namespace tfsim;
+
+namespace {
+
+constexpr int kInstanceCounts[] = {1, 2, 4, 8};
+
+struct Row {
+  int instances;
+  double per_instance_gbps;
+  double aggregate_gbps;
+  double min_instance_gbps;
+  double max_instance_gbps;
+};
+std::vector<Row> g_rows;
+
+void BM_Mcbn(benchmark::State& state) {
+  const int n = kInstanceCounts[state.range(0)];
+  for (auto _ : state) {
+    node::Testbed testbed;
+    testbed.attach_remote();
+    const sim::Time measure_end = sim::from_ms(20.0);
+
+    std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
+    const std::uint64_t span = 512 * sim::kMiB;
+    for (int i = 0; i < n; ++i) {
+      workloads::FlowConfig cfg;
+      cfg.concurrency = 128;  // one full STREAM instance saturates the NIC
+      cfg.base = testbed.remote_base() + static_cast<std::uint64_t>(i) * span;
+      cfg.span_bytes = span;
+      cfg.stop_at = measure_end;
+      flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
+          testbed.engine(), testbed.borrower().nic(), cfg));
+    }
+    for (auto& f : flows) f->start();
+    testbed.engine().run();
+
+    Row row{n, 0, 0, 1e30, 0};
+    for (auto& f : flows) {
+      const double bw = f->stats().bandwidth_gbps(measure_end);
+      row.aggregate_gbps += bw;
+      row.min_instance_gbps = std::min(row.min_instance_gbps, bw);
+      row.max_instance_gbps = std::max(row.max_instance_gbps, bw);
+    }
+    row.per_instance_gbps = row.aggregate_gbps / n;
+    state.counters["per_instance_gbps"] = row.per_instance_gbps;
+    state.counters["aggregate_gbps"] = row.aggregate_gbps;
+    g_rows.push_back(row);
+  }
+}
+BENCHMARK(BM_Mcbn)->DenseRange(0, static_cast<int>(std::size(kInstanceCounts)) - 1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
+
+void print_table() {
+  core::Table table(
+      "Figure 6: memory contention at the borrower node (MCBN)",
+      {"STREAM instances", "per-instance BW (GB/s)", "aggregate BW (GB/s)",
+       "min/max instance (GB/s)"});
+  for (const auto& r : g_rows) {
+    table.row({std::to_string(r.instances),
+               core::Table::num(r.per_instance_gbps, 3),
+               core::Table::num(r.aggregate_gbps, 3),
+               core::Table::num(r.min_instance_gbps, 3) + " / " +
+                   core::Table::num(r.max_instance_gbps, 3)});
+  }
+  table.print();
+  table.to_csv(bench::csv_path("fig6_contention_borrower.csv"));
+  std::puts("Paper shape: equal division of the bottleneck network bandwidth"
+            " among competing instances (per-instance ~ total/N).");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

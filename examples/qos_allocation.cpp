@@ -1,0 +1,132 @@
+// Control-plane allocation policies in action: the paper's §IV-E insight
+// ("a lender with multiple running applications and an idle lender are
+// equally viable") applied to lender selection.
+//
+// A small datacenter: one borrower, three lenders with different load
+// profiles.  Each policy picks a lender for a reservation; then we actually
+// measure the borrower's remote bandwidth against the chosen lender to show
+// which signals mattered.
+#include <cstdio>
+#include <memory>
+
+#include "core/report.hpp"
+#include "ctrl/control_plane.hpp"
+#include "ctrl/policy.hpp"
+#include "mem/dram.hpp"
+#include "net/network.hpp"
+#include "nic/nic.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "workloads/stream/stream_flow.hpp"
+
+using namespace tfsim;
+
+namespace {
+
+struct LenderProfile {
+  const char* name;
+  std::uint32_t running_apps;
+  double bus_utilization;       // telemetry the control plane sees
+  std::uint32_t busy_flows;     // actual background load we simulate
+};
+
+constexpr LenderProfile kLenders[] = {
+    {"idle-lender", 0, 0.02, 0},
+    {"busy-apps-lender", 24, 0.45, 6},
+    {"saturated-bus-lender", 2, 0.97, 40},
+};
+
+/// Measure the borrower's achievable remote bandwidth against one lender
+/// that is concurrently running `busy_flows` local STREAM instances.
+double measure_bandwidth(const LenderProfile& lender) {
+  sim::Engine engine;
+  net::Network network;
+  const auto borrower_id = network.add_node("borrower");
+  const auto lender_id = network.add_node(lender.name);
+  network.connect(borrower_id, lender_id, net::LinkConfig{});
+  network.connect(lender_id, borrower_id, net::LinkConfig{});
+
+  mem::Dram lender_dram{mem::DramConfig{}, std::string(lender.name) + "/dram"};
+  nic::DisaggNic nic(nic::NicConfig{}, network, borrower_id);
+  nic.register_lender(0, lender_id, &lender_dram);
+  nic.translator().add_segment(
+      nic::Segment{mem::Range{1ull << 40, sim::kGiB}, 0, 0, "probe"});
+  nic.attach();
+
+  const sim::Time horizon = sim::from_ms(10.0);
+  std::vector<std::unique_ptr<workloads::LocalStreamFlow>> noise;
+  for (std::uint32_t i = 0; i < lender.busy_flows; ++i) {
+    workloads::FlowConfig cfg;
+    cfg.concurrency = 64;
+    cfg.stop_at = horizon;
+    noise.push_back(
+        std::make_unique<workloads::LocalStreamFlow>(engine, lender_dram, cfg));
+  }
+  workloads::FlowConfig bcfg;
+  bcfg.concurrency = 128;
+  bcfg.base = 1ull << 40;
+  bcfg.span_bytes = 512 * sim::kMiB;
+  bcfg.stop_at = horizon;
+  workloads::RemoteStreamFlow borrower(engine, nic, bcfg);
+  borrower.start();
+  for (auto& f : noise) f->start();
+  engine.run();
+  return borrower.stats().bandwidth_gbps(horizon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ArgParser args(
+      "qos_allocation: lender-selection policies vs measured reality");
+  args.add_int("reservation-gib", 64, "reservation size in GiB");
+  if (!args.parse(argc, argv)) return 1;
+
+  // Register the fleet with the control plane.
+  ctrl::NodeRegistry registry;
+  const auto borrower = registry.add_node("borrower", 512 * sim::kGiB);
+  registry.set_role(borrower, ctrl::Role::kBorrower);
+  for (const auto& l : kLenders) {
+    // The app-busy lender is the *biggest* machine in the fleet: policies
+    // that fear co-located apps leave its capacity stranded.
+    const std::uint64_t capacity =
+        (l.running_apps > 0 && l.bus_utilization < 0.9) ? 1024 * sim::kGiB
+                                                        : 512 * sim::kGiB;
+    const auto id = registry.add_node(l.name, capacity);
+    registry.set_role(id, ctrl::Role::kLender);
+    registry.report_load(id, 32 * sim::kGiB, l.running_apps, l.bus_utilization);
+  }
+
+  const std::uint64_t size =
+      static_cast<std::uint64_t>(args.integer("reservation-gib")) * sim::kGiB;
+
+  core::Table picks("Which lender does each policy pick?",
+                    {"policy", "picked lender", "comment"});
+  for (const char* policy_name :
+       {"first-fit", "most-free", "idle-preferring", "contention-aware"}) {
+    ctrl::NodeRegistry reg_copy = registry;  // policies must not mutate state
+    ctrl::ControlPlane cp(reg_copy, ctrl::make_policy(policy_name));
+    const auto r = cp.reserve(borrower, size, std::string("r-") + policy_name);
+    picks.row({policy_name,
+               r.has_value() ? reg_copy.node(r->lender).name : "(none)",
+               r.has_value() ? "" : "rejected all candidates"});
+  }
+  picks.print();
+
+  core::Table reality("What the borrower actually measures per lender",
+                      {"lender", "running apps", "bus util (telemetry)",
+                       "borrower remote BW (GB/s)"});
+  for (const auto& l : kLenders) {
+    reality.row({l.name, std::to_string(l.running_apps),
+                 core::Table::num(l.bus_utilization * 100, 0) + "%",
+                 core::Table::num(measure_bandwidth(l), 3)});
+  }
+  reality.print();
+
+  std::puts(
+      "The idle lender and the app-busy lender deliver the same borrower\n"
+      "bandwidth -- running_apps is a red herring (paper §IV-E).  Only the\n"
+      "bus-saturated lender degrades the borrower, which is exactly the one\n"
+      "signal the contention-aware policy screens on.");
+  return 0;
+}

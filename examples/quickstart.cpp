@@ -1,0 +1,60 @@
+// Quickstart: bring up the two-node ThymesisFlow testbed, borrow memory,
+// inject delay, and watch STREAM feel it.
+//
+//   ./quickstart [--elements=10000000] [--periods=1,10,100,400]
+//
+// Walks the whole public API surface: testbed assembly, control-plane
+// reservation + hot-plug, the delay injector, a workload, and reporting.
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "sim/config.hpp"
+
+using namespace tfsim;
+
+int main(int argc, char** argv) {
+  sim::ArgParser args(
+      "quickstart: STREAM on disaggregated memory under delay injection");
+  args.add_int("elements", 10'000'000, "STREAM array elements (doubles)");
+  args.add_string("periods", "1,10,100,400", "injector PERIOD values");
+  if (!args.parse(argc, argv)) return 1;
+
+  workloads::StreamConfig stream_cfg;
+  stream_cfg.elements = static_cast<std::uint64_t>(args.integer("elements"));
+
+  core::Table table("STREAM on borrowed memory vs injector PERIOD",
+                    {"PERIOD", "delay interval (us)", "latency (us)",
+                     "bandwidth (GB/s)", "BDP (kB)", "validated"});
+
+  for (const auto period : args.int_list("periods")) {
+    core::SessionConfig cfg;
+    cfg.period = static_cast<std::uint64_t>(period);
+    core::Session session(cfg);
+    if (!session.attached()) {
+      std::fprintf(stderr, "PERIOD %lld: device lost, cannot attach\n",
+                   static_cast<long long>(period));
+      continue;
+    }
+    std::printf("PERIOD %-6lld: remote region at 0x%llx (%llu GiB borrowed)\n",
+                static_cast<long long>(period),
+                static_cast<unsigned long long>(session.testbed().remote_base()),
+                static_cast<unsigned long long>(
+                    session.testbed().spec().remote_gib));
+
+    const auto res = session.run_stream(stream_cfg);
+    table.row({std::to_string(period),
+               core::Table::num(sim::to_us(session.injector_interval()), 4),
+               core::Table::num(res.avg_latency_us, 2),
+               core::Table::num(res.best_bandwidth_gbps, 3),
+               core::Table::num(
+                   core::bdp_kb(res.best_bandwidth_gbps, res.avg_latency_us), 1),
+               res.validated ? "yes" : "NO"});
+  }
+  table.print();
+  std::puts("The bandwidth-delay product stays ~constant while latency grows"
+            " linearly with PERIOD -- the injector is throttling admission,"
+            " not shrinking the window.");
+  return 0;
+}

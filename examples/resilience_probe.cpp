@@ -1,0 +1,58 @@
+// Resilience probing (paper §IV-C): find the delay level where the system
+// stops being healthy, and the level where it stops working at all.
+//
+//   ./resilience_probe [--periods=1,10,100,1000,3000,10000]
+//                      [--sla-us=100] [--elements=2000000]
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/resilience.hpp"
+#include "sim/config.hpp"
+
+using namespace tfsim;
+
+int main(int argc, char** argv) {
+  sim::ArgParser args("resilience_probe: classify health vs injected delay");
+  args.add_string("periods", "1,10,100,1000,3000,10000", "PERIOD values");
+  args.add_double("sla-us", 100.0,
+                  "latency SLA: beyond this a run counts as degraded");
+  args.add_int("elements", 2'000'000, "STREAM array elements");
+  if (!args.parse(argc, argv)) return 1;
+
+  core::ResilienceOptions opts;
+  opts.degraded_threshold_us = args.real("sla-us");
+  opts.stream.elements = static_cast<std::uint64_t>(args.integer("elements"));
+
+  core::Table table("resilience probe",
+                    {"PERIOD", "attached", "STREAM latency (us)",
+                     "bandwidth (GB/s)", "classification"});
+  std::uint64_t first_degraded = 0, first_lost = 0;
+  for (const auto period : args.int_list("periods")) {
+    const auto p =
+        core::assess_resilience(static_cast<std::uint64_t>(period), opts);
+    table.row({std::to_string(period), p.attached ? "yes" : "NO",
+               p.attached ? core::Table::num(p.stream_latency_us, 1) : "-",
+               p.attached ? core::Table::num(p.stream_bandwidth_gbps, 3) : "-",
+               core::to_string(p.health)});
+    if (p.health == core::HealthClass::kDegraded && first_degraded == 0) {
+      first_degraded = p.period;
+    }
+    if (p.health == core::HealthClass::kDeviceLost && first_lost == 0) {
+      first_lost = p.period;
+    }
+  }
+  table.print();
+
+  if (first_degraded != 0) {
+    std::printf("SLA violations start at PERIOD=%llu.\n",
+                static_cast<unsigned long long>(first_degraded));
+  }
+  if (first_lost != 0) {
+    std::printf("Device lost at PERIOD=%llu -- but that corresponds to delay"
+                " far beyond 99th-percentile datacenter tail latency, so the"
+                " paper concludes CPU delay-resilience is not the immediate"
+                " concern; SLA-scale degradation is.\n",
+                static_cast<unsigned long long>(first_lost));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "axi/endpoints.hpp"
+
+namespace tfsim::axi {
+
+Source::Source(std::string name, Wire& out, Config cfg)
+    : Module(std::move(name)), out_(out), cfg_(cfg), rng_(cfg.seed) {
+  offer_ = rng_.uniform() < cfg_.valid_probability;
+}
+
+Source::Source(std::string name, Wire& out)
+    : Source(std::move(name), out, Config{}) {}
+
+void Source::push(const Beat& beat) { queue_.push_back(beat); }
+
+Beat Source::front_beat() const {
+  if (!queue_.empty()) return queue_.front();
+  Beat b;
+  b.id = next_id_;
+  b.dest = cfg_.dest;
+  return b;
+}
+
+void Source::eval() {
+  const bool v = has_beat() && offer_;
+  out_.set_valid(v);
+  if (v) out_.set_beat(front_beat());
+}
+
+void Source::tick(std::uint64_t /*cycle*/) {
+  if (out_.fire()) {
+    if (!queue_.empty()) {
+      queue_.pop_front();
+    } else {
+      ++next_id_;
+    }
+    ++emitted_;
+  }
+  // AXI4-Stream requires VALID to stay asserted until the handshake, so a
+  // new coin flip happens only when we are not mid-offer.
+  if (!out_.valid() || out_.fire()) {
+    offer_ = rng_.uniform() < cfg_.valid_probability;
+  }
+}
+
+Sink::Sink(std::string name, Wire& in, Config cfg)
+    : Module(std::move(name)), in_(in), cfg_(cfg), rng_(cfg.seed) {
+  accept_ = rng_.uniform() < cfg_.ready_probability;
+}
+
+Sink::Sink(std::string name, Wire& in) : Sink(std::move(name), in, Config{}) {}
+
+void Sink::eval() { in_.set_ready(accept_); }
+
+void Sink::tick(std::uint64_t cycle) {
+  if (in_.fire()) {
+    arrivals_.push_back(Arrival{cycle, in_.beat()});
+  }
+  accept_ = rng_.uniform() < cfg_.ready_probability;
+}
+
+}  // namespace tfsim::axi

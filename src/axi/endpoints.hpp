@@ -1,0 +1,86 @@
+// Traffic endpoints for cycle-level testbenches: a configurable beat source
+// (models the cache-miss stream arriving at the egress pipeline) and a sink
+// (models the downstream multiplexer / link interface).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+#include "sim/rng.hpp"
+
+namespace tfsim::axi {
+
+/// Produces beats on its output wire.  Beats come from an explicit queue or,
+/// if `saturate` is set, an endless stream of auto-numbered beats.  An
+/// optional valid-probability models a bursty upstream.
+class Source final : public Module {
+ public:
+  struct Config {
+    bool saturate = false;        ///< endless supply of beats
+    double valid_probability = 1.0;  ///< chance VALID is offered each cycle
+    std::uint32_t dest = 0;       ///< TDEST stamped on generated beats
+    std::uint64_t seed = 1;
+  };
+
+  Source(std::string name, Wire& out, Config cfg);
+  Source(std::string name, Wire& out);
+
+  /// Enqueue an explicit beat (used when not saturating).
+  void push(const Beat& beat);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  std::uint64_t emitted() const { return emitted_; }
+  bool idle() const { return !cfg_.saturate && queue_.empty(); }
+
+ private:
+  bool has_beat() const { return cfg_.saturate || !queue_.empty(); }
+  Beat front_beat() const;
+
+  Wire& out_;
+  Config cfg_;
+  std::deque<Beat> queue_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t emitted_ = 0;
+  bool offer_ = true;  ///< this cycle's VALID coin flip
+  tfsim::sim::Rng rng_;
+};
+
+/// Consumes beats from its input wire, recording (cycle, beat).  Ready
+/// behaviour: always, probabilistic, or a fixed pattern (to test gate
+/// composition with a stalling downstream).
+class Sink final : public Module {
+ public:
+  struct Config {
+    double ready_probability = 1.0;
+    std::uint64_t seed = 2;
+  };
+
+  Sink(std::string name, Wire& in, Config cfg);
+  Sink(std::string name, Wire& in);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  struct Arrival {
+    std::uint64_t cycle;
+    Beat beat;
+  };
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  std::uint64_t received() const { return arrivals_.size(); }
+
+ private:
+  Wire& in_;
+  Config cfg_;
+  std::vector<Arrival> arrivals_;
+  bool accept_ = true;
+  tfsim::sim::Rng rng_;
+};
+
+}  // namespace tfsim::axi

@@ -1,0 +1,57 @@
+#include "axi/fifo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfsim::axi {
+
+Fifo::Fifo(std::string name, Wire& in, Wire& out, std::size_t depth)
+    : Module(std::move(name)), in_(in), out_(out), depth_(depth) {
+  if (depth_ == 0) throw std::invalid_argument("Fifo: depth must be >= 1");
+}
+
+void Fifo::eval() {
+  in_.set_ready(data_.size() < depth_);
+  const bool have = !data_.empty();
+  out_.set_valid(have);
+  if (have) out_.set_beat(data_.front());
+}
+
+void Fifo::tick(std::uint64_t /*cycle*/) {
+  // Sample both handshakes as settled this cycle, then update state.  Pop
+  // before push so a simultaneously-full FIFO can accept when it drains --
+  // no: READY was computed against pre-edge occupancy, so a full FIFO did
+  // not accept this cycle; order here is still pop-then-push for clarity.
+  const bool out_fire = out_.fire();
+  const bool in_fire = in_.fire();
+  if (out_fire) {
+    data_.pop_front();
+    ++delivered_;
+  }
+  if (in_fire) {
+    data_.push_back(in_.beat());
+    ++accepted_;
+  }
+  max_occupancy_ = std::max(max_occupancy_, data_.size());
+}
+
+RegisterSlice::RegisterSlice(std::string name, Wire& in, Wire& out)
+    : Module(std::move(name)), in_(in), out_(out) {}
+
+void RegisterSlice::eval() {
+  in_.set_ready(!full_);
+  out_.set_valid(full_);
+  if (full_) out_.set_beat(reg_);
+}
+
+void RegisterSlice::tick(std::uint64_t /*cycle*/) {
+  const bool out_fire = out_.fire();
+  const bool in_fire = in_.fire();
+  if (out_fire) full_ = false;
+  if (in_fire) {
+    reg_ = in_.beat();
+    full_ = true;
+  }
+}
+
+}  // namespace tfsim::axi

@@ -1,0 +1,58 @@
+// Synchronous FIFO and register slice: the elastic buffers used throughout
+// the ThymesisFlow egress/ingress pipelines.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+/// Depth-N FIFO.  READY while not full; VALID while not empty.  A beat
+/// accepted on cycle t is visible downstream on cycle t+1 (registered
+/// output), matching typical synchronous FIFO behaviour.
+class Fifo final : public Module {
+ public:
+  Fifo(std::string name, Wire& in, Wire& out, std::size_t depth);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  std::size_t depth() const { return depth_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t max_occupancy() const { return max_occupancy_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  Wire& in_;
+  Wire& out_;
+  std::size_t depth_;
+  std::deque<Beat> data_;
+  std::size_t max_occupancy_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Single-register pipeline stage (depth-1 "skid buffer" without
+/// bypass): breaks long combinational READY chains exactly like the register
+/// slices in the real design.
+class RegisterSlice final : public Module {
+ public:
+  RegisterSlice(std::string name, Wire& in, Wire& out);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  bool full() const { return full_; }
+
+ private:
+  Wire& in_;
+  Wire& out_;
+  bool full_ = false;
+  Beat reg_{};
+};
+
+}  // namespace tfsim::axi

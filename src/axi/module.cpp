@@ -1,0 +1,7 @@
+#include "axi/module.hpp"
+
+namespace tfsim::axi {
+
+Module::~Module() = default;
+
+}  // namespace tfsim::axi

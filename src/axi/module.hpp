@@ -1,0 +1,34 @@
+// Base class for cycle-level AXI4-Stream modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfsim::axi {
+
+/// A clocked hardware block.  Each simulated cycle the testbench:
+///   1. calls eval() on all modules repeatedly until no wire changes
+///      (combinational settle), then
+///   2. calls tick(cycle) once on each module (clock edge: state update).
+///
+/// eval() must be idempotent for fixed inputs; tick() observes the settled
+/// wires (e.g. fire()) and updates registers.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module();
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Combinational phase: read input wires, drive output wires.
+  virtual void eval() {}
+  /// Sequential phase: clock edge at cycle `cycle`.
+  virtual void tick(std::uint64_t cycle) = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace tfsim::axi

@@ -1,0 +1,41 @@
+#include "axi/monitor.hpp"
+
+#include <sstream>
+
+namespace tfsim::axi {
+
+Monitor::Monitor(std::string name, Wire& wire, bool check_id_order)
+    : Module(std::move(name)), wire_(wire), check_id_order_(check_id_order) {}
+
+void Monitor::violation(std::uint64_t cycle, const std::string& what) {
+  std::ostringstream os;
+  os << name() << " @" << cycle << ": " << what;
+  violations_.push_back(os.str());
+}
+
+void Monitor::tick(std::uint64_t cycle) {
+  if (prev_offered_) {
+    // An un-accepted VALID may not be retracted and its payload must hold.
+    if (!wire_.valid()) {
+      violation(cycle, "VALID retracted before READY");
+    } else if (!(wire_.beat() == prev_beat_)) {
+      violation(cycle, "payload changed while VALID waiting for READY");
+    }
+  }
+  if (wire_.fire()) {
+    if (any_fire_) {
+      gaps_.add(static_cast<double>(cycle - last_fire_cycle_));
+    }
+    if (check_id_order_ && any_fire_ && wire_.beat().id <= last_id_) {
+      violation(cycle, "beat id not strictly increasing");
+    }
+    last_id_ = wire_.beat().id;
+    last_fire_cycle_ = cycle;
+    any_fire_ = true;
+    ++fires_;
+  }
+  prev_offered_ = wire_.valid() && !wire_.ready();
+  if (prev_offered_) prev_beat_ = wire_.beat();
+}
+
+}  // namespace tfsim::axi

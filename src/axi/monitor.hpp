@@ -1,0 +1,54 @@
+// AXI4-Stream protocol monitor.
+//
+// Watches one wire and checks the handshake rules the spec mandates:
+//  * once VALID is asserted it must remain asserted, with stable payload,
+//    until READY completes the transfer (no retraction);
+//  * (optionally) beats must arrive with monotonically increasing ids.
+// Also collects throughput and inter-arrival statistics -- the validation
+// bench uses these to check the injector's one-beat-per-PERIOD behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+#include "sim/stats.hpp"
+
+namespace tfsim::axi {
+
+class Monitor final : public Module {
+ public:
+  Monitor(std::string name, Wire& wire, bool check_id_order = false);
+
+  void tick(std::uint64_t cycle) override;
+
+  std::uint64_t fires() const { return fires_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+  /// Inter-arrival gap (cycles) between consecutive fired beats.
+  const tfsim::sim::OnlineStats& gap_stats() const { return gaps_; }
+  /// Fires per cycle over the observed window.
+  double throughput(std::uint64_t cycles) const {
+    return cycles ? static_cast<double>(fires_) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+ private:
+  void violation(std::uint64_t cycle, const std::string& what);
+
+  Wire& wire_;
+  bool check_id_order_;
+  bool prev_offered_ = false;  ///< VALID && !READY at the previous edge
+  Beat prev_beat_{};
+  std::uint64_t fires_ = 0;
+  std::uint64_t last_fire_cycle_ = 0;
+  bool any_fire_ = false;
+  std::uint64_t last_id_ = 0;
+  std::vector<std::string> violations_;
+  tfsim::sim::OnlineStats gaps_;
+};
+
+}  // namespace tfsim::axi

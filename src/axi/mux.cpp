@@ -1,0 +1,51 @@
+#include "axi/mux.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::axi {
+
+RoundRobinMux::RoundRobinMux(std::string name, std::vector<Wire*> inputs,
+                             Wire& out)
+    : Module(std::move(name)),
+      inputs_(std::move(inputs)),
+      out_(out),
+      transfers_(inputs_.size(), 0) {
+  if (inputs_.empty()) {
+    throw std::invalid_argument("RoundRobinMux: needs at least one input");
+  }
+}
+
+std::size_t RoundRobinMux::pick() const {
+  const std::size_t n = inputs_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (rr_ + k) % n;
+    if (inputs_[i]->valid()) return i;
+  }
+  return n;  // none valid
+}
+
+void RoundRobinMux::eval() {
+  const std::size_t n = inputs_.size();
+  const std::size_t grant = pick();
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs_[i]->set_ready(i == grant && out_.ready());
+  }
+  if (grant < n) {
+    out_.set_valid(true);
+    out_.set_beat(inputs_[grant]->beat());
+  } else {
+    out_.set_valid(false);
+  }
+}
+
+void RoundRobinMux::tick(std::uint64_t /*cycle*/) {
+  const std::size_t grant = pick();
+  if (grant < inputs_.size() && inputs_[grant]->fire()) {
+    ++transfers_[grant];
+    // Rotate past the granted input so a saturating producer cannot starve
+    // the others.
+    rr_ = (grant + 1) % inputs_.size();
+  }
+}
+
+}  // namespace tfsim::axi

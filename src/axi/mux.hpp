@@ -1,0 +1,36 @@
+// Round-robin multiplexer: merges N upstream AXI4-Stream channels onto one
+// downstream channel.  In ThymesisFlow the egress multiplexer sits directly
+// downstream of the delay injector; fairness here is what produces the
+// "equal division of bandwidth" behaviour in the MCBN contention experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+class RoundRobinMux final : public Module {
+ public:
+  RoundRobinMux(std::string name, std::vector<Wire*> inputs, Wire& out);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  std::size_t fan_in() const { return inputs_.size(); }
+  /// Beats forwarded from input i.
+  std::uint64_t transfers(std::size_t i) const { return transfers_.at(i); }
+
+ private:
+  /// Current grant: first valid input at or after rr_, if any.
+  std::size_t pick() const;
+
+  std::vector<Wire*> inputs_;
+  Wire& out_;
+  std::size_t rr_ = 0;  ///< next input to consider (rotates after a grant)
+  std::vector<std::uint64_t> transfers_;
+};
+
+}  // namespace tfsim::axi

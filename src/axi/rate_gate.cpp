@@ -1,0 +1,45 @@
+#include "axi/rate_gate.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::axi {
+
+RateGate::RateGate(std::string name, Wire& in, Wire& out, std::uint64_t period)
+    : Module(std::move(name)), in_(in), out_(out), period_(period) {
+  if (period_ == 0) {
+    throw std::invalid_argument("RateGate: PERIOD must be >= 1");
+  }
+}
+
+void RateGate::set_period(std::uint64_t period) {
+  if (period == 0) {
+    throw std::invalid_argument("RateGate: PERIOD must be >= 1");
+  }
+  period_ = period;
+}
+
+void RateGate::eval() {
+  // Eq. 1 gates READY toward the upstream block.  Because the simulation
+  // splits the spliced channel into an upstream and a downstream interface,
+  // the same window must mask VALID downstream too -- otherwise an
+  // always-ready consumer would re-sample the waiting beat every cycle.
+  // An offer made in an open window is held until the handshake completes
+  // (AXI forbids retracting VALID), so a stalled consumer extends the
+  // window instead of dropping the beat.  Upstream-visible behaviour is
+  // exactly Eq. 1: a transfer may start once every PERIOD cycles while
+  // READY_OLD and VALID are high.
+  const bool open = window_open() || offering_;
+  out_.set_valid(in_.valid() && open);
+  out_.set_beat(in_.beat());
+  in_.set_ready(out_.ready() && open);
+}
+
+void RateGate::tick(std::uint64_t /*cycle*/) {
+  if (in_.fire()) ++transfers_;
+  if (in_.valid() && !in_.ready()) ++stalled_cycles_;
+  // Hold an un-accepted downstream offer across window closure.
+  offering_ = out_.valid() && !out_.ready();
+  ++counter_;
+}
+
+}  // namespace tfsim::axi

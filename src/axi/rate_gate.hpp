@@ -1,0 +1,52 @@
+// The paper's delay-injection module (§III-B).
+//
+// Spliced between the routing and multiplexer blocks of the ThymesisFlow
+// compute-node egress.  It passes VALID and the payload through unchanged and
+// gates the READY seen by the upstream block:
+//
+//     READY_NEW = READY_OLD & (COUNTER % PERIOD == 0)          (Eq. 1)
+//
+// where COUNTER counts FPGA clock cycles since system start.  Effectively a
+// transaction may proceed once every PERIOD cycles, provided READY_OLD and
+// VALID are high.  PERIOD = 1 is the vanilla system (every cycle eligible).
+#pragma once
+
+#include <cstdint>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+class RateGate final : public Module {
+ public:
+  /// `in` is the upstream (router-facing) channel, `out` the downstream
+  /// (multiplexer-facing) channel.  `period` >= 1.
+  RateGate(std::string name, Wire& in, Wire& out, std::uint64_t period);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  std::uint64_t period() const { return period_; }
+  /// Reconfigure the injection period (takes effect next cycle).
+  void set_period(std::uint64_t period);
+
+  /// Beats that crossed the gate since construction.
+  std::uint64_t transfers() const { return transfers_; }
+  /// Cycles during which upstream had VALID data but the gate held READY low
+  /// (back-pressure the injector created).
+  std::uint64_t stalled_cycles() const { return stalled_cycles_; }
+
+ private:
+  bool window_open() const { return counter_ % period_ == 0; }
+
+  Wire& in_;
+  Wire& out_;
+  std::uint64_t period_;
+  std::uint64_t counter_ = 0;  ///< COUNTER in Eq. 1: cycles since start
+  bool offering_ = false;      ///< un-accepted offer held across closure
+  std::uint64_t transfers_ = 0;
+  std::uint64_t stalled_cycles_ = 0;
+};
+
+}  // namespace tfsim::axi

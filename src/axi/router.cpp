@@ -1,0 +1,44 @@
+#include "axi/router.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::axi {
+
+Router::Router(std::string name, Wire& in, std::vector<Wire*> outputs)
+    : Module(std::move(name)),
+      in_(in),
+      outputs_(std::move(outputs)),
+      transfers_(outputs_.size(), 0) {
+  if (outputs_.empty()) {
+    throw std::invalid_argument("Router: needs at least one output");
+  }
+}
+
+void Router::eval() {
+  const std::uint32_t dest = in_.beat().dest;
+  const bool in_range = dest < outputs_.size();
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    const bool sel = in_.valid() && in_range && dest == i;
+    outputs_[i]->set_valid(sel);
+    if (sel) outputs_[i]->set_beat(in_.beat());
+  }
+  if (in_range) {
+    in_.set_ready(outputs_[dest]->ready());
+  } else {
+    // Out-of-range dest: swallow the beat so the pipeline does not deadlock;
+    // counted as a misroute.
+    in_.set_ready(in_.valid());
+  }
+}
+
+void Router::tick(std::uint64_t /*cycle*/) {
+  if (!in_.fire()) return;
+  const std::uint32_t dest = in_.beat().dest;
+  if (dest < outputs_.size()) {
+    ++transfers_[dest];
+  } else {
+    ++misroutes_;
+  }
+}
+
+}  // namespace tfsim::axi

@@ -1,0 +1,34 @@
+// TDEST-based router (demultiplexer): forwards each beat to the output
+// selected by beat.dest.  The ThymesisFlow egress routing block sits directly
+// upstream of the delay injector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+class Router final : public Module {
+ public:
+  Router(std::string name, Wire& in, std::vector<Wire*> outputs);
+
+  void eval() override;
+  void tick(std::uint64_t cycle) override;
+
+  /// Beats forwarded to output i.
+  std::uint64_t transfers(std::size_t i) const { return transfers_.at(i); }
+  /// Beats whose dest was out of range (dropped with an error count --
+  /// the monitor flags these as protocol violations upstream).
+  std::uint64_t misroutes() const { return misroutes_; }
+
+ private:
+  Wire& in_;
+  std::vector<Wire*> outputs_;
+  std::vector<std::uint64_t> transfers_;
+  std::uint64_t misroutes_ = 0;
+};
+
+}  // namespace tfsim::axi

@@ -1,0 +1,73 @@
+// AXI4-Stream signal model.
+//
+// The ThymesisFlow hardware design interconnects its internal blocks with
+// AXI4-Stream: data moves when both VALID (producer has data) and READY
+// (consumer can take it) are high at a rising clock edge.  The paper's delay
+// injector is a module spliced between the routing and multiplexer blocks of
+// the compute-node egress that gates READY (Eq. 1).  This header models the
+// wire bundle; modules are in module.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfsim::axi {
+
+/// One transfer ("beat") on an AXI4-Stream channel.  TDATA is abstracted to
+/// a request id + routing metadata; payload width does not matter for
+/// handshake-level behaviour.
+struct Beat {
+  std::uint64_t id = 0;      ///< request identifier (TDATA surrogate)
+  std::uint32_t dest = 0;    ///< TDEST: egress route / lender port
+  std::uint32_t user = 0;    ///< TUSER: opcode or flags
+  bool last = true;          ///< TLAST: end of packet
+
+  friend bool operator==(const Beat&, const Beat&) = default;
+};
+
+/// A VALID/READY/payload wire bundle between two modules.  Combinational
+/// updates flow through set_* which mark the owning testbench dirty so the
+/// eval loop reaches a fixpoint.
+class Wire {
+ public:
+  bool valid() const { return valid_; }
+  bool ready() const { return ready_; }
+  const Beat& beat() const { return beat_; }
+  /// Handshake completes this cycle.
+  bool fire() const { return valid_ && ready_; }
+
+  void set_valid(bool v) {
+    if (valid_ != v) {
+      valid_ = v;
+      mark_dirty();
+    }
+  }
+  void set_ready(bool r) {
+    if (ready_ != r) {
+      ready_ = r;
+      mark_dirty();
+    }
+  }
+  void set_beat(const Beat& b) {
+    if (!(beat_ == b)) {
+      beat_ = b;
+      mark_dirty();
+    }
+  }
+
+  /// Installed by the testbench; tracks combinational convergence.
+  void attach_dirty_flag(bool* dirty) { dirty_ = dirty; }
+
+  std::string label;  ///< for monitor/error messages
+
+ private:
+  void mark_dirty() {
+    if (dirty_ != nullptr) *dirty_ = true;
+  }
+  bool valid_ = false;
+  bool ready_ = false;
+  Beat beat_{};
+  bool* dirty_ = nullptr;
+};
+
+}  // namespace tfsim::axi

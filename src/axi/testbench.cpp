@@ -1,0 +1,37 @@
+#include "axi/testbench.hpp"
+
+namespace tfsim::axi {
+
+Wire& Testbench::wire(std::string label) {
+  auto w = std::make_unique<Wire>();
+  w->label = std::move(label);
+  w->attach_dirty_flag(&dirty_);
+  Wire& ref = *w;
+  wires_.push_back(std::move(w));
+  return ref;
+}
+
+void Testbench::settle() {
+  // Fixpoint iteration: each pass lets valid/ready propagate one module
+  // further.  An acyclic handshake graph converges within |modules| passes;
+  // allow a generous margin before declaring a combinational loop.
+  const std::size_t limit = 2 * modules_.size() + 4;
+  for (std::size_t iter = 0; iter < limit; ++iter) {
+    dirty_ = false;
+    for (auto& m : modules_) m->eval();
+    if (!dirty_) return;
+  }
+  throw std::runtime_error("Testbench: combinational logic did not converge");
+}
+
+void Testbench::step() {
+  settle();
+  for (auto& m : modules_) m->tick(cycle_);
+  ++cycle_;
+}
+
+void Testbench::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace tfsim::axi

@@ -1,0 +1,51 @@
+// Cycle-level testbench: owns wires and modules, runs the two-phase
+// (combinational settle, then clock edge) simulation loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+class Testbench {
+ public:
+  /// Create a wire owned by the testbench.
+  Wire& wire(std::string label);
+
+  /// Construct and register a module.  Returns a reference with the
+  /// testbench retaining ownership.
+  template <typename M, typename... Args>
+  M& add(Args&&... args) {
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *mod;
+    modules_.push_back(std::move(mod));
+    return ref;
+  }
+
+  /// Advance one clock cycle: settle combinational logic, then tick.
+  /// Throws std::runtime_error if the combinational loop does not converge
+  /// (a genuine combinational cycle in the module graph).
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n);
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  void settle();
+
+  std::vector<std::unique_ptr<Wire>> wires_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::uint64_t cycle_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace tfsim::axi

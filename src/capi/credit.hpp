@@ -1,0 +1,82 @@
+// Credit-based flow control and tag allocation.
+//
+// OpenCAPI TL uses credits per virtual channel: a sender may only issue a
+// command while it holds a credit; the receiver returns credits as it drains
+// its buffers.  The credit pool bounds the in-flight commands on the
+// compute-side AFU -- together with the NIC request window this is what
+// pins the bandwidth-delay product the paper measures (~16.5 kB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace tfsim::capi {
+
+class CreditPool {
+ public:
+  explicit CreditPool(std::uint32_t total) : total_(total), available_(total) {}
+
+  std::uint32_t total() const { return total_; }
+  std::uint32_t available() const { return available_; }
+  std::uint32_t in_use() const { return total_ - available_; }
+
+  /// Take one credit; returns false when exhausted.
+  bool try_consume() {
+    if (available_ == 0) return false;
+    --available_;
+    return true;
+  }
+
+  /// Return one credit.  Throws std::logic_error on over-return (a protocol
+  /// bug we want loud, not silent).
+  void restore() {
+    if (available_ >= total_) {
+      throw std::logic_error("CreditPool: credit returned twice");
+    }
+    ++available_;
+  }
+
+ private:
+  std::uint32_t total_;
+  std::uint32_t available_;
+};
+
+/// Allocates response-matching tags from a fixed space (free list, LIFO).
+class TagAllocator {
+ public:
+  explicit TagAllocator(std::uint16_t capacity) {
+    free_.reserve(capacity);
+    for (std::uint16_t t = capacity; t > 0; --t) {
+      free_.push_back(static_cast<std::uint16_t>(t - 1));
+    }
+    capacity_ = capacity;
+  }
+
+  std::optional<std::uint16_t> allocate() {
+    if (free_.empty()) return std::nullopt;
+    const std::uint16_t t = free_.back();
+    free_.pop_back();
+    return t;
+  }
+
+  void release(std::uint16_t tag) {
+    if (tag >= capacity_) {
+      throw std::logic_error("TagAllocator: tag out of range");
+    }
+    free_.push_back(tag);
+    if (free_.size() > capacity_) {
+      throw std::logic_error("TagAllocator: double release");
+    }
+  }
+
+  std::uint16_t capacity() const { return capacity_; }
+  std::size_t available() const { return free_.size(); }
+
+ private:
+  std::uint16_t capacity_ = 0;
+  std::vector<std::uint16_t> free_;
+};
+
+}  // namespace tfsim::capi

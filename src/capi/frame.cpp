@@ -1,0 +1,115 @@
+#include "capi/frame.hpp"
+
+#include <algorithm>
+
+namespace tfsim::capi {
+
+namespace {
+constexpr std::uint16_t kMagic = 0xCA91;
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(get_u16(p)) |
+         (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+bool valid_opcode(std::uint8_t op) {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kNop:
+    case Opcode::kReadRequest:
+    case Opcode::kWriteRequest:
+    case Opcode::kReadResponse:
+    case Opcode::kWriteResponse:
+    case Opcode::kFailResponse:
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::uint32_t fletcher32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum1 = 0xffff, sum2 = 0xffff;
+  std::size_t i = 0;
+  while (i + 1 < len) {
+    std::size_t block = std::min<std::size_t>(359 * 2, len - i);
+    block &= ~std::size_t{1};
+    for (std::size_t j = 0; j < block; j += 2) {
+      sum1 += static_cast<std::uint32_t>(data[i + j]) |
+              (static_cast<std::uint32_t>(data[i + j + 1]) << 8);
+      sum2 += sum1;
+    }
+    sum1 = (sum1 & 0xffff) + (sum1 >> 16);
+    sum2 = (sum2 & 0xffff) + (sum2 >> 16);
+    i += block;
+  }
+  if (i < len) {  // odd trailing byte
+    sum1 += data[i];
+    sum2 += sum1;
+  }
+  sum1 = (sum1 & 0xffff) + (sum1 >> 16);
+  sum2 = (sum2 & 0xffff) + (sum2 >> 16);
+  return (sum2 << 16) | sum1;
+}
+
+std::vector<std::uint8_t> encode(const Command& cmd) {
+  std::vector<std::uint8_t> b;
+  b.reserve(kFrameBytes);
+  put_u16(b, kMagic);
+  b.push_back(static_cast<std::uint8_t>(cmd.opcode));
+  b.push_back(0);  // reserved
+  put_u16(b, cmd.tag);
+  put_u16(b, 0);  // reserved
+  put_u64(b, cmd.addr);
+  put_u32(b, cmd.size);
+  put_u32(b, fletcher32(b.data(), b.size()));
+  return b;
+}
+
+DecodeResult decode(const std::uint8_t* data, std::size_t len) {
+  DecodeResult res;
+  if (len < kFrameBytes) {
+    res.error = DecodeError::kTruncated;
+    return res;
+  }
+  if (get_u16(data) != kMagic) {
+    res.error = DecodeError::kBadMagic;
+    return res;
+  }
+  const std::uint32_t want = get_u32(data + kFrameBytes - 4);
+  const std::uint32_t got = fletcher32(data, kFrameBytes - 4);
+  if (want != got) {
+    res.error = DecodeError::kBadChecksum;
+    return res;
+  }
+  if (!valid_opcode(data[2])) {
+    res.error = DecodeError::kBadOpcode;
+    return res;
+  }
+  Command cmd;
+  cmd.opcode = static_cast<Opcode>(data[2]);
+  cmd.tag = get_u16(data + 4);
+  cmd.addr = get_u64(data + 8);
+  cmd.size = get_u32(data + 16);
+  res.command = cmd;
+  return res;
+}
+
+}  // namespace tfsim::capi

@@ -1,0 +1,42 @@
+// TL frame encode/decode.
+//
+// Commands are serialized into a fixed-layout byte frame with a Fletcher-32
+// integrity check, mirroring how the ThymesisFlow NIC encapsulates cache
+// misses before handing them to the network packetizer.  Decode validates
+// structure and checksum; corruption is reported, never silently accepted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capi/opcodes.hpp"
+
+namespace tfsim::capi {
+
+inline constexpr std::size_t kFrameBytes = 24;
+
+/// Serialize a command into its 24-byte frame.
+std::vector<std::uint8_t> encode(const Command& cmd);
+
+enum class DecodeError {
+  kTruncated,
+  kBadMagic,
+  kBadChecksum,
+  kBadOpcode,
+};
+
+struct DecodeResult {
+  std::optional<Command> command;      ///< set on success
+  std::optional<DecodeError> error;    ///< set on failure
+};
+
+DecodeResult decode(const std::uint8_t* data, std::size_t len);
+inline DecodeResult decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+/// Fletcher-32 over 16-bit words (frame uses it; exposed for tests).
+std::uint32_t fletcher32(const std::uint8_t* data, std::size_t len);
+
+}  // namespace tfsim::capi

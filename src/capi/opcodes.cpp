@@ -1,0 +1,17 @@
+#include "capi/opcodes.hpp"
+
+namespace tfsim::capi {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kReadRequest: return "rd_wnitc";
+    case Opcode::kWriteRequest: return "dma_w";
+    case Opcode::kReadResponse: return "rd_response";
+    case Opcode::kWriteResponse: return "wr_response";
+    case Opcode::kFailResponse: return "fail_response";
+  }
+  return "unknown";
+}
+
+}  // namespace tfsim::capi

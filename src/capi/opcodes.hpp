@@ -1,0 +1,64 @@
+// OpenCAPI-like transaction-layer commands.
+//
+// ThymesisFlow rides the OpenCAPI 3.0 transaction layer: LLC misses to
+// hot-plugged remote memory become TL commands (rd_wnitc / dma_w) that the
+// compute-side AFU forwards onto the wire.  We model the command vocabulary
+// the disaggregated-memory path uses plus responses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address.hpp"
+
+namespace tfsim::capi {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0x00,
+  kReadRequest = 0x10,    ///< rd_wnitc: read with no intent to cache remotely
+  kWriteRequest = 0x20,   ///< dma_w: posted cache-line write
+  kReadResponse = 0x11,   ///< data return
+  kWriteResponse = 0x21,  ///< write acknowledgement
+  kFailResponse = 0x3f,   ///< access fault / timeout notification
+};
+
+constexpr bool is_request(Opcode op) {
+  return op == Opcode::kReadRequest || op == Opcode::kWriteRequest;
+}
+constexpr bool is_response(Opcode op) {
+  return op == Opcode::kReadResponse || op == Opcode::kWriteResponse ||
+         op == Opcode::kFailResponse;
+}
+/// Response opcode paired with a request.
+constexpr Opcode response_for(Opcode op) {
+  switch (op) {
+    case Opcode::kReadRequest: return Opcode::kReadResponse;
+    case Opcode::kWriteRequest: return Opcode::kWriteResponse;
+    default: return Opcode::kFailResponse;
+  }
+}
+
+std::string to_string(Opcode op);
+
+/// One TL command/response.  `tag` pairs responses with requests (aCTag in
+/// OpenCAPI); `size` is the access size in bytes (cache line for the
+/// disaggregated path).
+struct Command {
+  Opcode opcode = Opcode::kNop;
+  std::uint16_t tag = 0;
+  mem::Addr addr = 0;
+  std::uint32_t size = mem::kCacheLineBytes;
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+/// Bytes a command occupies on the wire: header always; payload for
+/// write requests and read responses (the data-carrying directions).
+constexpr std::uint32_t kTlHeaderBytes = 28;
+constexpr std::uint32_t wire_bytes(const Command& c) {
+  const bool carries_data =
+      c.opcode == Opcode::kWriteRequest || c.opcode == Opcode::kReadResponse;
+  return kTlHeaderBytes + (carries_data ? c.size : 0);
+}
+
+}  // namespace tfsim::capi

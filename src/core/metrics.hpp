@@ -1,0 +1,30 @@
+// Metrics the paper reports: performance degradation ratios and the
+// bandwidth-delay product.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace tfsim::core {
+
+/// Degradation = degraded / baseline (completion times), or
+/// baseline / degraded for rate metrics -- both >= 1 when things got worse.
+inline double degradation_from_times(sim::Time degraded, sim::Time baseline) {
+  if (baseline == 0) return 0.0;
+  return static_cast<double>(degraded) / static_cast<double>(baseline);
+}
+
+inline double degradation_from_rates(double baseline_rate, double degraded_rate) {
+  if (degraded_rate <= 0.0) return 0.0;
+  return baseline_rate / degraded_rate;
+}
+
+/// Bandwidth-delay product in kilobytes.  The paper measures ~16.5 kB,
+/// constant across injected delays (Fig. 3).
+inline double bdp_kb(double bandwidth_gbps, double latency_us) {
+  // GB/s x us = kB.
+  return bandwidth_gbps * latency_us;
+}
+
+}  // namespace tfsim::core

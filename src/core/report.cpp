@@ -1,0 +1,84 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "sim/trace.hpp"
+
+namespace tfsim::core {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::ratio(double v) {
+  std::ostringstream os;
+  if (v >= 100.0) {
+    os << std::fixed << std::setprecision(0) << v << "x";
+  } else {
+    os << std::fixed << std::setprecision(2) << v << "x";
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& r : rows_) width[c] = std::max(width[c], r[c].size());
+  }
+  std::size_t total = columns_.size() * 3 + 1;
+  for (auto w : width) total += w;
+
+  os << "\n== " << title_ << " ==\n";
+  const auto line = [&] { os << std::string(total, '-') << "\n"; };
+  line();
+  os << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+       << columns_[c] << " |";
+  }
+  os << "\n";
+  line();
+  for (const auto& r : rows_) {
+    os << "|";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << r[c]
+         << " |";
+    }
+    os << "\n";
+  }
+  line();
+  os.flush();
+}
+
+void Table::print() const { print(std::cout); }
+
+bool Table::to_csv(const std::string& path) const {
+  try {
+    sim::CsvWriter csv(path);
+    csv.header(columns_);
+    for (const auto& r : rows_) {
+      auto row = csv.row();
+      for (const auto& cell : r) row.col(cell);
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tfsim::core

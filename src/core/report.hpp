@@ -1,0 +1,39 @@
+// Aligned-table reporting for benches and examples: prints the same rows
+// the paper's tables/figures contain, and can mirror them to CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tfsim::core {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string ratio(double v);  ///< "1.01x" style
+
+  void print(std::ostream& os) const;
+  /// Also print to stdout.
+  void print() const;
+
+  /// Write rows (with header) to a CSV file; returns false on I/O error.
+  bool to_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tfsim::core

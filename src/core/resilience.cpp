@@ -1,0 +1,40 @@
+#include "core/resilience.hpp"
+
+namespace tfsim::core {
+
+std::string to_string(HealthClass h) {
+  switch (h) {
+    case HealthClass::kHealthy: return "healthy";
+    case HealthClass::kDegraded: return "degraded";
+    case HealthClass::kDeviceLost: return "device-lost";
+  }
+  return "?";
+}
+
+ResilienceProbe assess_resilience(std::uint64_t period,
+                                  const ResilienceOptions& opts) {
+  ResilienceProbe probe;
+  probe.period = period;
+
+  SessionConfig scfg;
+  scfg.testbed = opts.testbed;
+  scfg.period = period;
+  scfg.placement = node::Placement::kRemote;
+  Session session(scfg);
+
+  probe.attached = session.attached();
+  if (!probe.attached) {
+    probe.health = HealthClass::kDeviceLost;
+    return probe;
+  }
+
+  const auto stream = session.run_stream(opts.stream);
+  probe.stream_latency_us = stream.avg_latency_us;
+  probe.stream_bandwidth_gbps = stream.best_bandwidth_gbps;
+  probe.health = probe.stream_latency_us > opts.degraded_threshold_us
+                     ? HealthClass::kDegraded
+                     : HealthClass::kHealthy;
+  return probe;
+}
+
+}  // namespace tfsim::core

@@ -1,0 +1,41 @@
+// Resilience assessment (paper §IV-C): classify system health under a given
+// injection PERIOD by probing the attach handshake and, when attached,
+// measuring STREAM's effective memory access time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/session.hpp"
+#include "workloads/stream/stream.hpp"
+
+namespace tfsim::core {
+
+enum class HealthClass {
+  kHealthy,     ///< latency within normal datacenter-network range
+  kDegraded,    ///< runs to completion with severe slowdown (SLA risk)
+  kDeviceLost,  ///< FPGA not detected; memory cannot attach (system failure)
+};
+
+std::string to_string(HealthClass h);
+
+struct ResilienceProbe {
+  std::uint64_t period = 0;
+  bool attached = false;
+  double stream_latency_us = 0.0;   ///< 0 when not attached
+  double stream_bandwidth_gbps = 0.0;
+  HealthClass health = HealthClass::kHealthy;
+};
+
+struct ResilienceOptions {
+  /// Latency above this classifies the run as degraded (SLA threshold).
+  double degraded_threshold_us = 100.0;
+  workloads::StreamConfig stream;
+  node::TestbedSpec testbed;
+};
+
+/// Probe one PERIOD on a fresh testbed.
+ResilienceProbe assess_resilience(std::uint64_t period,
+                                  const ResilienceOptions& opts);
+
+}  // namespace tfsim::core

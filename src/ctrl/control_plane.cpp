@@ -1,0 +1,98 @@
+#include "ctrl/control_plane.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace tfsim::ctrl {
+
+ControlPlane::ControlPlane(NodeRegistry& registry,
+                           std::unique_ptr<AllocationPolicy> policy,
+                           ControlPlaneConfig cfg)
+    : registry_(registry), policy_(std::move(policy)), cfg_(cfg),
+      next_hotplug_(cfg.hotplug_base) {
+  if (!policy_) throw std::invalid_argument("ControlPlane: null policy");
+}
+
+std::optional<Reservation> ControlPlane::reserve(std::uint32_t borrower,
+                                                 std::uint64_t size,
+                                                 const std::string& name) {
+  if (size == 0) return std::nullopt;
+  const auto candidates =
+      registry_.lender_candidates(size, cfg_.lender_safety_margin);
+  // A node cannot lend to itself.
+  std::vector<std::uint32_t> filtered;
+  std::copy_if(candidates.begin(), candidates.end(),
+               std::back_inserter(filtered),
+               [&](std::uint32_t id) { return id != borrower; });
+  const auto lender = policy_->pick(registry_, borrower, size, filtered);
+  if (!lender.has_value()) {
+    TFSIM_LOG(Info) << "reserve(" << name << "): no viable lender";
+    return std::nullopt;
+  }
+
+  NodeInfo& ln = registry_.node(*lender);
+  Reservation r;
+  r.id = next_id_++;
+  r.borrower = borrower;
+  r.lender = *lender;
+  r.size = size;
+  r.lender_base = ln.lent_out;  // donated space grows linearly
+  r.name = name;
+  ln.lent_out += size;
+  reservations_.push_back(r);
+  return r;
+}
+
+std::optional<mem::Addr> ControlPlane::attach(std::uint64_t reservation_id,
+                                              nic::DisaggNic& borrower_nic,
+                                              mem::MemoryMap& borrower_map) {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [&](const Reservation& r) { return r.id == reservation_id; });
+  if (it == reservations_.end() || it->attached) return std::nullopt;
+
+  if (!borrower_nic.attach()) {
+    return std::nullopt;  // FPGA detection timeout: memory cannot attach
+  }
+
+  const mem::Addr base = next_hotplug_;
+  next_hotplug_ += it->size;
+
+  borrower_nic.translator().add_segment(nic::Segment{
+      mem::Range{base, it->size}, it->lender_base, it->lender, it->name});
+  borrower_map.add_region(mem::Region{mem::Range{base, it->size},
+                                      mem::Backing::kRemoteDram, it->lender,
+                                      it->name});
+  it->attached = true;
+  return base;
+}
+
+bool ControlPlane::release(std::uint64_t reservation_id,
+                           nic::DisaggNic* borrower_nic,
+                           mem::MemoryMap* borrower_map) {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [&](const Reservation& r) { return r.id == reservation_id; });
+  if (it == reservations_.end()) return false;
+  if (it->attached) {
+    if (borrower_nic != nullptr) {
+      borrower_nic->translator().remove_segment(it->name);
+    }
+    if (borrower_map != nullptr) {
+      borrower_map->remove_region(it->name);
+    }
+  }
+  NodeInfo& ln = registry_.node(it->lender);
+  ln.lent_out -= std::min(ln.lent_out, it->size);
+  reservations_.erase(it);
+  return true;
+}
+
+const Reservation* ControlPlane::find(std::uint64_t reservation_id) const {
+  const auto it =
+      std::find_if(reservations_.begin(), reservations_.end(),
+                   [&](const Reservation& r) { return r.id == reservation_id; });
+  return it == reservations_.end() ? nullptr : &*it;
+}
+
+}  // namespace tfsim::ctrl

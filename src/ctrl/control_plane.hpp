@@ -1,0 +1,72 @@
+// The control plane: reservations and hot-plug (libthymesisflow's job).
+//
+// reserve() picks a lender via the configured policy and books the memory;
+// attach() programs the borrower NIC's address translation and publishes the
+// region in the borrower's memory map (hot-plug); detach() reverses both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/policy.hpp"
+#include "ctrl/registry.hpp"
+#include "mem/address.hpp"
+#include "nic/nic.hpp"
+
+namespace tfsim::ctrl {
+
+struct Reservation {
+  std::uint64_t id = 0;
+  std::uint32_t borrower = 0;
+  std::uint32_t lender = 0;
+  std::uint64_t size = 0;
+  mem::Addr lender_base = 0;  ///< offset in the lender's donated space
+  std::string name;
+  bool attached = false;
+};
+
+struct ControlPlaneConfig {
+  /// Reserved headroom a lender keeps for its own OS/applications.
+  std::uint64_t lender_safety_margin = 4ULL * 1024 * 1024 * 1024;
+  /// Borrower physical window where hot-plugged memory appears.
+  mem::Addr hotplug_base = 0x2000'0000'0000ULL;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(NodeRegistry& registry, std::unique_ptr<AllocationPolicy> policy,
+               ControlPlaneConfig cfg = ControlPlaneConfig());
+
+  /// Book `size` bytes for `borrower` at a policy-chosen lender.
+  std::optional<Reservation> reserve(std::uint32_t borrower, std::uint64_t size,
+                                     const std::string& name);
+
+  /// Hot-plug a reservation into the borrower: programs the NIC translator
+  /// and the memory map; runs the FPGA attach handshake.  Returns the
+  /// borrower physical base on success, nullopt if the device times out
+  /// (Fig. 4 failure mode) or the reservation is unknown.
+  std::optional<mem::Addr> attach(std::uint64_t reservation_id,
+                                  nic::DisaggNic& borrower_nic,
+                                  mem::MemoryMap& borrower_map);
+
+  /// Hot-unplug + release the booking.
+  bool release(std::uint64_t reservation_id, nic::DisaggNic* borrower_nic,
+               mem::MemoryMap* borrower_map);
+
+  const std::vector<Reservation>& reservations() const { return reservations_; }
+  const Reservation* find(std::uint64_t reservation_id) const;
+  const AllocationPolicy& policy() const { return *policy_; }
+
+ private:
+  NodeRegistry& registry_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  ControlPlaneConfig cfg_;
+  std::vector<Reservation> reservations_;
+  std::uint64_t next_id_ = 1;
+  mem::Addr next_hotplug_ = 0;
+};
+
+}  // namespace tfsim::ctrl

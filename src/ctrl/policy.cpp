@@ -1,0 +1,65 @@
+#include "ctrl/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfsim::ctrl {
+
+std::optional<std::uint32_t> FirstFitPolicy::pick(
+    const NodeRegistry& /*registry*/, std::uint32_t /*borrower*/,
+    std::uint64_t /*size*/, const std::vector<std::uint32_t>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  return *std::min_element(candidates.begin(), candidates.end());
+}
+
+std::optional<std::uint32_t> MostFreePolicy::pick(
+    const NodeRegistry& registry, std::uint32_t /*borrower*/,
+    std::uint64_t /*size*/, const std::vector<std::uint32_t>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  return *std::max_element(
+      candidates.begin(), candidates.end(),
+      [&](std::uint32_t a, std::uint32_t b) {
+        return registry.node(a).lendable(safety_margin_) <
+               registry.node(b).lendable(safety_margin_);
+      });
+}
+
+std::optional<std::uint32_t> IdlePreferringPolicy::pick(
+    const NodeRegistry& registry, std::uint32_t /*borrower*/,
+    std::uint64_t /*size*/, const std::vector<std::uint32_t>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  return *std::min_element(candidates.begin(), candidates.end(),
+                           [&](std::uint32_t a, std::uint32_t b) {
+                             return registry.node(a).running_apps <
+                                    registry.node(b).running_apps;
+                           });
+}
+
+std::optional<std::uint32_t> ContentionAwarePolicy::pick(
+    const NodeRegistry& registry, std::uint32_t /*borrower*/,
+    std::uint64_t /*size*/, const std::vector<std::uint32_t>& candidates) {
+  std::vector<std::uint32_t> viable;
+  for (auto id : candidates) {
+    // The paper's insight: running_apps is irrelevant; only a saturated
+    // memory bus would make lender-side contention visible to the borrower.
+    if (registry.node(id).memory_bus_utilization <= bus_cap_) {
+      viable.push_back(id);
+    }
+  }
+  if (viable.empty()) return std::nullopt;
+  return *std::max_element(
+      viable.begin(), viable.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return registry.node(a).lendable(safety_margin_) <
+               registry.node(b).lendable(safety_margin_);
+      });
+}
+
+std::unique_ptr<AllocationPolicy> make_policy(const std::string& name) {
+  if (name == "first-fit") return std::make_unique<FirstFitPolicy>();
+  if (name == "most-free") return std::make_unique<MostFreePolicy>();
+  if (name == "idle-preferring") return std::make_unique<IdlePreferringPolicy>();
+  if (name == "contention-aware") return std::make_unique<ContentionAwarePolicy>();
+  throw std::invalid_argument("unknown allocation policy: " + name);
+}
+
+}  // namespace tfsim::ctrl

@@ -1,0 +1,87 @@
+// Lender-selection policies.
+//
+// The paper's contention results (Fig. 6/7) motivate contention-aware
+// allocation: because lender-side memory contention is insignificant
+// relative to the network, a busy lender and an idle lender are equally
+// viable.  We provide the naive policies plus the contention-aware one so
+// the examples can compare their decisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/registry.hpp"
+
+namespace tfsim::ctrl {
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  /// Pick a lender from `candidates` (all have enough lendable memory).
+  /// nullopt if the policy rejects every candidate.
+  virtual std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower,
+      std::uint64_t size, const std::vector<std::uint32_t>& candidates) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// First candidate in id order.
+class FirstFitPolicy final : public AllocationPolicy {
+ public:
+  std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower, std::uint64_t size,
+      const std::vector<std::uint32_t>& candidates) override;
+  std::string name() const override { return "first-fit"; }
+};
+
+/// Most lendable memory remaining (load balancing by capacity).
+class MostFreePolicy final : public AllocationPolicy {
+ public:
+  explicit MostFreePolicy(std::uint64_t safety_margin = 0)
+      : safety_margin_(safety_margin) {}
+  std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower, std::uint64_t size,
+      const std::vector<std::uint32_t>& candidates) override;
+  std::string name() const override { return "most-free"; }
+
+ private:
+  std::uint64_t safety_margin_;
+};
+
+/// Avoids lenders whose *local applications* are busy: picks the candidate
+/// with the fewest running apps (what a designer would do before reading
+/// the paper's Fig. 7).
+class IdlePreferringPolicy final : public AllocationPolicy {
+ public:
+  std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower, std::uint64_t size,
+      const std::vector<std::uint32_t>& candidates) override;
+  std::string name() const override { return "idle-preferring"; }
+};
+
+/// Contention-aware per the paper's insight: lender-side app count does NOT
+/// disqualify a lender (the network is the bottleneck); only saturated
+/// memory-bus utilization does.  Among the rest, balance by capacity.
+class ContentionAwarePolicy final : public AllocationPolicy {
+ public:
+  explicit ContentionAwarePolicy(double bus_utilization_cap = 0.9,
+                                 std::uint64_t safety_margin = 0)
+      : bus_cap_(bus_utilization_cap), safety_margin_(safety_margin) {}
+  std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower, std::uint64_t size,
+      const std::vector<std::uint32_t>& candidates) override;
+  std::string name() const override { return "contention-aware"; }
+
+ private:
+  double bus_cap_;
+  std::uint64_t safety_margin_;
+};
+
+std::unique_ptr<AllocationPolicy> make_policy(const std::string& name);
+
+}  // namespace tfsim::ctrl

@@ -1,0 +1,58 @@
+#include "ctrl/registry.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::ctrl {
+
+std::string to_string(Role role) {
+  switch (role) {
+    case Role::kUnassigned: return "unassigned";
+    case Role::kBorrower: return "borrower";
+    case Role::kLender: return "lender";
+  }
+  return "?";
+}
+
+std::uint32_t NodeRegistry::add_node(const std::string& name,
+                                     std::uint64_t total_memory) {
+  NodeInfo info;
+  info.id = static_cast<std::uint32_t>(nodes_.size());
+  info.name = name;
+  info.total_memory = total_memory;
+  nodes_.push_back(std::move(info));
+  return nodes_.back().id;
+}
+
+NodeInfo& NodeRegistry::node(std::uint32_t id) {
+  if (id >= nodes_.size()) throw std::out_of_range("NodeRegistry: bad id");
+  return nodes_[id];
+}
+
+const NodeInfo& NodeRegistry::node(std::uint32_t id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("NodeRegistry: bad id");
+  return nodes_[id];
+}
+
+void NodeRegistry::set_role(std::uint32_t id, Role role) { node(id).role = role; }
+
+void NodeRegistry::report_load(std::uint32_t id, std::uint64_t local_used,
+                               std::uint32_t running_apps,
+                               double bus_utilization) {
+  NodeInfo& n = node(id);
+  n.local_used = local_used;
+  n.running_apps = running_apps;
+  n.memory_bus_utilization = bus_utilization;
+}
+
+std::vector<std::uint32_t> NodeRegistry::lender_candidates(
+    std::uint64_t size, std::uint64_t safety_margin) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& n : nodes_) {
+    if (n.role == Role::kLender && n.lendable(safety_margin) >= size) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace tfsim::ctrl

@@ -1,0 +1,59 @@
+// Control-plane node registry: roles, capacities, runtime load signals.
+//
+// The control plane designates each datacenter node a borrower or lender
+// (dynamically, from real-time memory availability and demand) and sizes
+// reservations at lenders (paper §II-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tfsim::ctrl {
+
+enum class Role { kUnassigned, kBorrower, kLender };
+
+std::string to_string(Role role);
+
+struct NodeInfo {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t total_memory = 0;    ///< bytes of installed DRAM
+  std::uint64_t local_used = 0;      ///< consumed by local applications
+  std::uint64_t lent_out = 0;        ///< reserved for remote borrowers
+  std::uint32_t running_apps = 0;    ///< co-located applications (contention signal)
+  double memory_bus_utilization = 0.0;  ///< [0,1], runtime telemetry
+  Role role = Role::kUnassigned;
+
+  /// Memory a lender could still hand out (keeps a safety margin for the
+  /// host OS and local growth).
+  std::uint64_t lendable(std::uint64_t safety_margin) const {
+    const std::uint64_t committed = local_used + lent_out + safety_margin;
+    return committed >= total_memory ? 0 : total_memory - committed;
+  }
+};
+
+class NodeRegistry {
+ public:
+  std::uint32_t add_node(const std::string& name, std::uint64_t total_memory);
+
+  NodeInfo& node(std::uint32_t id);
+  const NodeInfo& node(std::uint32_t id) const;
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+  void set_role(std::uint32_t id, Role role);
+
+  /// Runtime telemetry update from the node agent.
+  void report_load(std::uint32_t id, std::uint64_t local_used,
+                   std::uint32_t running_apps, double bus_utilization);
+
+  /// Lender candidates with at least `size` lendable bytes.
+  std::vector<std::uint32_t> lender_candidates(std::uint64_t size,
+                                               std::uint64_t safety_margin) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace tfsim::ctrl

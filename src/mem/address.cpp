@@ -1,0 +1,51 @@
+#include "mem/address.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfsim::mem {
+
+void MemoryMap::add_region(Region region) {
+  if (region.range.size == 0) {
+    throw std::invalid_argument("MemoryMap: empty region " + region.name);
+  }
+  for (const auto& r : regions_) {
+    if (r.range.overlaps(region.range)) {
+      throw std::invalid_argument("MemoryMap: region " + region.name +
+                                  " overlaps " + r.name);
+    }
+  }
+  regions_.push_back(std::move(region));
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) {
+              return a.range.base < b.range.base;
+            });
+}
+
+bool MemoryMap::remove_region(const std::string& name) {
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [&](const Region& r) { return r.name == name; });
+  if (it == regions_.end()) return false;
+  regions_.erase(it);
+  return true;
+}
+
+const Region* MemoryMap::find(Addr a) const {
+  // regions_ sorted by base: binary search for the last region with base <= a.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr addr, const Region& r) { return addr < r.range.base; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return it->range.contains(a) ? &*it : nullptr;
+}
+
+std::uint64_t MemoryMap::total_bytes(Backing backing) const {
+  std::uint64_t total = 0;
+  for (const auto& r : regions_) {
+    if (r.backing == backing) total += r.range.size;
+  }
+  return total;
+}
+
+}  // namespace tfsim::mem

@@ -1,0 +1,70 @@
+// Physical addresses, cache-line geometry, and address-space layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tfsim::mem {
+
+using Addr = std::uint64_t;
+
+/// POWER9 cache-line size; also ThymesisFlow's remote access granularity.
+inline constexpr std::uint32_t kCacheLineBytes = 128;
+
+constexpr Addr line_base(Addr a, std::uint32_t line = kCacheLineBytes) {
+  return a & ~static_cast<Addr>(line - 1);
+}
+constexpr std::uint64_t lines_spanned(Addr a, std::uint64_t bytes,
+                                      std::uint32_t line = kCacheLineBytes) {
+  if (bytes == 0) return 0;
+  const Addr first = line_base(a, line);
+  const Addr last = line_base(a + bytes - 1, line);
+  return (last - first) / line + 1;
+}
+
+/// Half-open address range [base, base+size).
+struct Range {
+  Addr base = 0;
+  std::uint64_t size = 0;
+
+  Addr end() const { return base + size; }
+  bool contains(Addr a) const { return a >= base && a < end(); }
+  bool overlaps(const Range& o) const {
+    return base < o.end() && o.base < end();
+  }
+};
+
+/// Where a region of the borrower physical address space is backed.
+enum class Backing {
+  kLocalDram,    ///< node-local memory
+  kRemoteDram,   ///< disaggregated memory on a lender node
+};
+
+struct Region {
+  Range range;
+  Backing backing = Backing::kLocalDram;
+  std::uint32_t lender_id = 0;  ///< valid when backing == kRemoteDram
+  std::string name;
+};
+
+/// The borrower node's physical memory map: local DRAM plus hot-plugged
+/// remote regions.  Lookup tells the cache-miss path where a line lives.
+class MemoryMap {
+ public:
+  /// Add a region; throws std::invalid_argument on overlap.
+  void add_region(Region region);
+  /// Remove a region by name (hot-unplug); returns false if absent.
+  bool remove_region(const std::string& name);
+
+  const Region* find(Addr a) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  std::uint64_t total_bytes(Backing backing) const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace tfsim::mem

@@ -1,0 +1,129 @@
+#include "mem/cache.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::mem {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)) {
+  if (cfg_.line_bytes == 0 || (cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (cfg_.associativity == 0) {
+    throw std::invalid_argument("cache geometry must be non-degenerate");
+  }
+  sets_count_ = cfg_.num_sets();
+  if (sets_count_ == 0) {
+    throw std::invalid_argument("cache geometry must be non-degenerate");
+  }
+  if (cfg_.size_bytes % (static_cast<std::uint64_t>(cfg_.associativity) * cfg_.line_bytes) != 0) {
+    throw std::invalid_argument("cache size must divide into sets evenly");
+  }
+  ways_.resize(sets_count_ * cfg_.associativity);
+}
+
+void SetAssocCache::reset_sets() {
+  for (auto& w : ways_) w = Way{};
+}
+
+SetAssocCache::AccessResult SetAssocCache::access(Addr addr, bool write) {
+  const Addr line = line_base(addr, cfg_.line_bytes);
+  const std::uint64_t set = set_index(line);
+  const Addr tag = tag_of(line);
+  Way* base = &ways_[set * cfg_.associativity];
+  ++clock_;
+
+  Way* lru = base;
+  bool have_invalid = false;
+  for (std::uint32_t i = 0; i < cfg_.associativity; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == tag) {
+      w.lru = clock_;
+      w.dirty = w.dirty || write;
+      ++stats_.hits;
+      return AccessResult{true, false, 0};
+    }
+    if (!w.valid) {
+      if (!have_invalid) {
+        lru = &w;  // prefer an invalid way as the victim
+        have_invalid = true;
+      }
+    } else if (!have_invalid && lru->valid && w.lru < lru->lru) {
+      lru = &w;
+    }
+  }
+  if (!have_invalid && cfg_.replacement == Replacement::kRandom) {
+    // xorshift victim pick: cheap and stateless per access.
+    victim_seed_ ^= victim_seed_ << 13;
+    victim_seed_ ^= victim_seed_ >> 7;
+    victim_seed_ ^= victim_seed_ << 17;
+    lru = &base[victim_seed_ % cfg_.associativity];
+  }
+
+  ++stats_.misses;
+  AccessResult res;
+  if (lru->valid && lru->dirty) {
+    res.writeback = true;
+    res.victim_line = line_from(set, lru->tag);
+    ++stats_.writebacks;
+  }
+  lru->tag = tag;
+  lru->valid = true;
+  lru->dirty = write;
+  lru->lru = clock_;
+  return res;
+}
+
+bool SetAssocCache::probe(Addr addr) const {
+  const Addr line = line_base(addr, cfg_.line_bytes);
+  const std::uint64_t set = set_index(line);
+  const Addr tag = tag_of(line);
+  const Way* base = &ways_[set * cfg_.associativity];
+  for (std::uint32_t i = 0; i < cfg_.associativity; ++i) {
+    if (base[i].valid && base[i].tag == tag) return true;
+  }
+  return false;
+}
+
+bool SetAssocCache::invalidate(Addr addr, bool* was_dirty) {
+  const Addr line = line_base(addr, cfg_.line_bytes);
+  const std::uint64_t set = set_index(line);
+  const Addr tag = tag_of(line);
+  Way* base = &ways_[set * cfg_.associativity];
+  for (std::uint32_t i = 0; i < cfg_.associativity; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == tag) {
+      if (was_dirty != nullptr) *was_dirty = w.dirty;
+      w = Way{};
+      ++stats_.invalidations;
+      return true;
+    }
+  }
+  if (was_dirty != nullptr) *was_dirty = false;
+  return false;
+}
+
+std::uint64_t SetAssocCache::invalidate_range(const Range& range) {
+  // Walk resident ways rather than the (possibly huge) address range.
+  std::uint64_t dropped = 0;
+  for (std::uint64_t set = 0; set < sets_count_; ++set) {
+    Way* base = &ways_[set * cfg_.associativity];
+    for (std::uint32_t i = 0; i < cfg_.associativity; ++i) {
+      Way& w = base[i];
+      if (w.valid && range.contains(line_from(set, w.tag))) {
+        w = Way{};
+        ++stats_.invalidations;
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::uint64_t SetAssocCache::resident_lines() const {
+  std::uint64_t n = 0;
+  for (const auto& w : ways_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace tfsim::mem

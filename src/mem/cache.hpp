@@ -1,0 +1,97 @@
+// Set-associative cache model (functional: hit/miss/writeback tracking, no
+// data payload).  Write-back, write-allocate, true-LRU replacement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace tfsim::mem {
+
+enum class Replacement {
+  kLru,     ///< true LRU (small L1/L2 arrays)
+  kRandom,  ///< pseudo-random victim (POWER9 L3 victim-cache slices behave
+            ///< far closer to this than to global LRU under streaming)
+};
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_bytes = kCacheLineBytes;
+  Replacement replacement = Replacement::kLru;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    return accesses() ? static_cast<double>(hits) / static_cast<double>(accesses())
+                      : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg, std::string name = "cache");
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;   ///< a dirty victim was evicted
+    Addr victim_line = 0;     ///< line address of the evicted dirty victim
+  };
+
+  /// Access the line containing `addr`; on miss the line is allocated
+  /// (write-allocate) and the LRU victim evicted.
+  AccessResult access(Addr addr, bool write);
+
+  /// True if the line is present (no state change).
+  bool probe(Addr addr) const;
+
+  /// Drop the line if present; returns true (and reports dirtiness) if it
+  /// was resident.
+  bool invalidate(Addr addr, bool* was_dirty = nullptr);
+
+  /// Invalidate every line in [range) -- used on hot-unplug.
+  std::uint64_t invalidate_range(const Range& range);
+
+  void flush() { reset_sets(); }
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t resident_lines() const;
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-touch stamp; smallest = LRU victim
+  };
+
+  std::uint64_t set_index(Addr line) const { return (line / cfg_.line_bytes) % sets_count_; }
+  Addr tag_of(Addr line) const { return line / cfg_.line_bytes / sets_count_; }
+  Addr line_from(std::uint64_t set, Addr tag) const {
+    return (tag * sets_count_ + set) * cfg_.line_bytes;
+  }
+  void reset_sets();
+
+  CacheConfig cfg_;
+  std::string name_;
+  std::uint64_t sets_count_ = 0;
+  std::vector<Way> ways_;  ///< sets_count_ x associativity, row-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t victim_seed_ = 0x2545F4914F6CDD1DULL;
+  CacheStats stats_;
+};
+
+}  // namespace tfsim::mem

@@ -1,0 +1,66 @@
+// DRAM / memory-bus model.
+//
+// A node's memory bus is a shared FIFO bandwidth server (per-socket GB/s
+// scale) plus a fixed access latency.  Both local applications and the
+// lender-side disaggregated-memory NIC draw from the same server, which is
+// exactly the contention point the paper's MCLN experiment (Fig. 7)
+// exercises: the bus is so much faster than the network that lender-side
+// contention barely moves borrower-visible bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address.hpp"
+#include "sim/server.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::mem {
+
+struct DramConfig {
+  std::uint64_t capacity_bytes = 512 * sim::kGiB;  ///< AC922: 512 GB/node
+  sim::Bandwidth bus_bandwidth = sim::Bandwidth::from_gbyte(140.0);
+  sim::Time access_latency = sim::from_ns(95.0);  ///< loaded CAS-to-data
+};
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& cfg, std::string name = "dram")
+      : cfg_(cfg), name_(std::move(name)),
+        server_(cfg.bus_bandwidth, cfg.access_latency) {}
+
+  /// Access `bytes` starting at time `now`; returns the completion time.
+  /// The latency QoS class bypasses queued bulk work (memory-controller
+  /// read prioritization) -- also what keeps the analytic FIFO's
+  /// call-order approximation from penalizing bypassing traffic.
+  sim::Time access(sim::Time now, std::uint64_t bytes,
+                   sim::Priority prio = sim::Priority::kBulk) {
+    return server_.request(now, bytes, prio);
+  }
+
+  /// One cache-line access.
+  sim::Time access_line(sim::Time now) { return access(now, kCacheLineBytes); }
+
+  const DramConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t bytes_served() const { return server_.bytes_served(); }
+  std::uint64_t requests() const { return server_.requests(); }
+  sim::Time busy_time() const { return server_.busy_time(); }
+  sim::Time backlog(sim::Time now,
+                    sim::Priority prio = sim::Priority::kBulk) const {
+    return server_.backlog(now, prio);
+  }
+
+  /// Fraction of `elapsed` the bus spent busy.
+  double utilization(sim::Time elapsed) const {
+    return elapsed ? sim::to_sec(server_.busy_time()) / sim::to_sec(elapsed)
+                   : 0.0;
+  }
+
+ private:
+  DramConfig cfg_;
+  std::string name_;
+  sim::PriorityBandwidthServer server_;
+};
+
+}  // namespace tfsim::mem

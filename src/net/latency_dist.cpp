@@ -1,0 +1,63 @@
+#include "net/latency_dist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfsim::net {
+
+DistKind parse_dist_kind(const std::string& name) {
+  if (name == "fixed") return DistKind::kFixed;
+  if (name == "uniform") return DistKind::kUniform;
+  if (name == "exponential") return DistKind::kExponential;
+  if (name == "lognormal") return DistKind::kLognormal;
+  if (name == "pareto") return DistKind::kPareto;
+  throw std::invalid_argument("unknown latency distribution: " + name);
+}
+
+std::string to_string(DistKind kind) {
+  switch (kind) {
+    case DistKind::kFixed: return "fixed";
+    case DistKind::kUniform: return "uniform";
+    case DistKind::kExponential: return "exponential";
+    case DistKind::kLognormal: return "lognormal";
+    case DistKind::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+LatencyDistribution::LatencyDistribution(DistKind kind, sim::Time mean,
+                                         std::uint64_t seed)
+    : kind_(kind), mean_(mean), rng_(seed) {
+  const double m = static_cast<double>(mean);
+  // E[lognormal(mu, s)] = exp(mu + s^2/2)  =>  mu = ln(m) - s^2/2.
+  lognormal_mu_ = m > 0 ? std::log(m) - kLognormalSigma * kLognormalSigma / 2.0
+                        : 0.0;
+  // E[pareto(x_m, a)] = a x_m / (a-1)  =>  x_m = m (a-1) / a.
+  pareto_scale_ = m * (kParetoAlpha - 1.0) / kParetoAlpha;
+}
+
+sim::Time LatencyDistribution::sample() {
+  if (mean_ == 0) return 0;
+  const double m = static_cast<double>(mean_);
+  double v = 0.0;
+  switch (kind_) {
+    case DistKind::kFixed:
+      return mean_;
+    case DistKind::kUniform:
+      v = rng_.uniform(0.0, 2.0 * m);
+      break;
+    case DistKind::kExponential:
+      v = rng_.exponential(m);
+      break;
+    case DistKind::kLognormal:
+      v = rng_.lognormal(lognormal_mu_, kLognormalSigma);
+      break;
+    case DistKind::kPareto:
+      v = rng_.pareto(pareto_scale_, kParetoAlpha);
+      break;
+  }
+  if (v < 0.0) v = 0.0;
+  return static_cast<sim::Time>(v);
+}
+
+}  // namespace tfsim::net

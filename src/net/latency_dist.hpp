@@ -1,0 +1,49 @@
+// Latency distributions for variable network delay.
+//
+// The paper's injector adds a *fixed* delay per run and flags
+// distribution-driven injection as future work (§VII).  We implement both:
+// a LatencyDistribution samples per-request extra delay; kFixed reproduces
+// the paper, the others model the short-timescale variability production
+// fabrics exhibit (Pingmesh/Swift-style tails).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::net {
+
+enum class DistKind {
+  kFixed,        ///< constant (the paper's injector)
+  kUniform,      ///< uniform in [0, 2*mean]
+  kExponential,  ///< exponential(mean)
+  kLognormal,    ///< lognormal, sigma fixed at 0.8, mu set from mean
+  kPareto,       ///< heavy tail, alpha = 2.5, scale set from mean
+};
+
+DistKind parse_dist_kind(const std::string& name);
+std::string to_string(DistKind kind);
+
+class LatencyDistribution {
+ public:
+  LatencyDistribution(DistKind kind, sim::Time mean, std::uint64_t seed = 42);
+
+  /// Sample one per-request delay.
+  sim::Time sample();
+
+  DistKind kind() const { return kind_; }
+  sim::Time mean() const { return mean_; }
+
+ private:
+  DistKind kind_;
+  sim::Time mean_;
+  sim::Rng rng_;
+  double lognormal_mu_ = 0.0;
+  static constexpr double kLognormalSigma = 0.8;
+  static constexpr double kParetoAlpha = 2.5;
+  double pareto_scale_ = 0.0;
+};
+
+}  // namespace tfsim::net

@@ -1,0 +1,55 @@
+// Point-to-point link: serialization at line rate plus propagation delay.
+//
+// ThymesisFlow's testbed uses a 100 Gb/s copper cable; beyond rack-scale the
+// same abstraction models a switch-to-switch hop.  A link is a FIFO
+// bandwidth server, so concurrent flows naturally queue and share capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/server.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::net {
+
+struct LinkConfig {
+  sim::Bandwidth bandwidth = sim::Bandwidth::from_gbit(100.0);
+  sim::Time propagation = sim::from_ns(300.0);  ///< cable + PHY/MAC
+};
+
+class Link {
+ public:
+  explicit Link(const LinkConfig& cfg, std::string name = "link")
+      : cfg_(cfg), name_(std::move(name)),
+        server_(cfg.bandwidth, cfg.propagation) {}
+
+  /// Transmit `wire_bytes` starting no earlier than `now`; returns delivery
+  /// time at the far end.  Latency-class packets bypass the bulk backlog
+  /// (two-queue egress scheduling, the paper's QoS mechanism).
+  sim::Time transmit(sim::Time now, std::uint64_t wire_bytes,
+                     sim::Priority prio = sim::Priority::kBulk) {
+    return server_.request(now, wire_bytes, prio);
+  }
+
+  const LinkConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t bytes_sent() const { return server_.bytes_served(); }
+  std::uint64_t packets_sent() const { return server_.requests(); }
+  sim::Time busy_time() const { return server_.busy_time(); }
+  sim::Time backlog(sim::Time now,
+                    sim::Priority prio = sim::Priority::kBulk) const {
+    return server_.backlog(now, prio);
+  }
+  double utilization(sim::Time elapsed) const {
+    return elapsed ? sim::to_sec(server_.busy_time()) / sim::to_sec(elapsed)
+                   : 0.0;
+  }
+
+ private:
+  LinkConfig cfg_;
+  std::string name_;
+  sim::PriorityBandwidthServer server_;
+};
+
+}  // namespace tfsim::net

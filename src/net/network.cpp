@@ -1,0 +1,74 @@
+#include "net/network.hpp"
+
+namespace tfsim::net {
+
+NodeId Network::add_node(const std::string& name) {
+  names_.push_back(name);
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void Network::connect(NodeId from, NodeId to, const LinkConfig& cfg) {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::invalid_argument("Network::connect: unknown node");
+  }
+  const auto key = std::make_pair(from, to);
+  if (links_.count(key) != 0) {
+    throw std::invalid_argument("Network::connect: duplicate link");
+  }
+  links_[key] = std::make_unique<Link>(
+      cfg, names_[from] + "->" + names_[to]);
+  routes_[key] = {key};  // implicit one-hop route
+}
+
+void Network::add_route(NodeId src, NodeId dst,
+                        std::vector<std::pair<NodeId, NodeId>> hops) {
+  if (hops.empty()) {
+    throw std::invalid_argument("Network::add_route: empty path");
+  }
+  for (const auto& hop : hops) {
+    if (links_.count(hop) == 0) {
+      throw std::invalid_argument("Network::add_route: hop has no link");
+    }
+  }
+  if (hops.front().first != src || hops.back().second != dst) {
+    throw std::invalid_argument("Network::add_route: path endpoints mismatch");
+  }
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (hops[i].second != hops[i + 1].first) {
+      throw std::invalid_argument("Network::add_route: disconnected path");
+    }
+  }
+  routes_[{src, dst}] = std::move(hops);
+}
+
+sim::Time Network::deliver(sim::Time now, NodeId src, NodeId dst,
+                           std::uint64_t wire_bytes, sim::Priority prio) {
+  const auto it = routes_.find({src, dst});
+  if (it == routes_.end()) {
+    throw std::invalid_argument("Network::deliver: no route " +
+                                names_.at(src) + "->" + names_.at(dst));
+  }
+  sim::Time t = now;
+  for (const auto& hop : it->second) {
+    t = links_.at(hop)->transmit(t, wire_bytes, prio);
+  }
+  return t;
+}
+
+Link& Network::link(NodeId from, NodeId to) {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    throw std::invalid_argument("Network::link: no such link");
+  }
+  return *it->second;
+}
+
+const Link& Network::link(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    throw std::invalid_argument("Network::link: no such link");
+  }
+  return *it->second;
+}
+
+}  // namespace tfsim::net

@@ -1,0 +1,60 @@
+// Datacenter fabric: nodes attached to switches, shortest-path (static)
+// routing, per-hop links with output queueing.
+//
+// The prototype the paper characterizes is a two-node point-to-point cable;
+// scaling beyond rack-scale introduces a switched, shared network.  This
+// model supports both: a direct topology (one link pair), and a star/fat
+// topology where borrower-lender pairs share switch uplinks -- the source of
+// the contention the paper emulates with delay injection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace tfsim::net {
+
+class Network {
+ public:
+  /// Register a node; returns its id.
+  NodeId add_node(const std::string& name);
+
+  /// Create a unidirectional link between two registered nodes.  Multiple
+  /// hops between the same pair are allowed (multi-hop paths are built from
+  /// per-hop links via add_route).
+  void connect(NodeId from, NodeId to, const LinkConfig& cfg);
+
+  /// Declare the path (sequence of already-connected hops) from src to dst.
+  /// A direct connect() implicitly adds the one-hop route.
+  void add_route(NodeId src, NodeId dst, std::vector<std::pair<NodeId, NodeId>> hops);
+
+  /// Deliver `wire_bytes` from src to dst starting at `now`; returns arrival
+  /// time after traversing every hop (serialization + queueing at each).
+  sim::Time deliver(sim::Time now, NodeId src, NodeId dst,
+                    std::uint64_t wire_bytes,
+                    sim::Priority prio = sim::Priority::kBulk);
+
+  /// Link for a hop (for stats); throws if absent.
+  Link& link(NodeId from, NodeId to);
+  const Link& link(NodeId from, NodeId to) const;
+
+  std::size_t num_nodes() const { return names_.size(); }
+  const std::string& node_name(NodeId id) const { return names_.at(id); }
+  bool has_route(NodeId src, NodeId dst) const {
+    return routes_.count({src, dst}) > 0;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::pair<NodeId, NodeId>>> routes_;
+};
+
+}  // namespace tfsim::net

@@ -1,0 +1,62 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "capi/frame.hpp"
+
+namespace tfsim::net {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+const std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Packet encapsulate(NodeId src, NodeId dst, std::uint32_t seq,
+                   const capi::Command& cmd) {
+  Packet pkt;
+  pkt.payload = capi::encode(cmd);
+  // Data-carrying directions append the cache-line payload bytes.  Content
+  // is not simulated; zero-fill stands in for the line image so wire sizes
+  // and checksums are faithful.
+  if (cmd.opcode == capi::Opcode::kWriteRequest ||
+      cmd.opcode == capi::Opcode::kReadResponse) {
+    pkt.payload.resize(pkt.payload.size() + cmd.size, 0);
+  }
+  pkt.header.src = src;
+  pkt.header.dst = dst;
+  pkt.header.seq = seq;
+  pkt.header.payload_bytes = static_cast<std::uint16_t>(pkt.payload.size());
+  pkt.header.checksum = crc32(pkt.payload);
+  return pkt;
+}
+
+std::optional<capi::Command> decapsulate(const Packet& pkt) {
+  if (pkt.payload.size() != pkt.header.payload_bytes) return std::nullopt;
+  if (crc32(pkt.payload) != pkt.header.checksum) return std::nullopt;
+  const auto res = capi::decode(pkt.payload.data(),
+                                std::min<std::size_t>(pkt.payload.size(),
+                                                      capi::kFrameBytes));
+  if (!res.command.has_value()) return std::nullopt;
+  return res.command;
+}
+
+}  // namespace tfsim::net

@@ -1,0 +1,51 @@
+// Network packets for the disaggregated-memory fabric.
+//
+// The ThymesisFlow NIC encapsulates each TL command in a network packet:
+// destination address, sequence number, checksum, payload (the encoded TL
+// frame, plus cache-line data in the data-carrying direction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capi/opcodes.hpp"
+
+namespace tfsim::net {
+
+using NodeId = std::uint32_t;
+
+struct PacketHeader {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t seq = 0;
+  std::uint16_t payload_bytes = 0;
+  std::uint32_t checksum = 0;  ///< CRC-32 over payload
+};
+
+inline constexpr std::uint32_t kPacketHeaderBytes = 30;  ///< incl. framing/FCS
+
+struct Packet {
+  PacketHeader header;
+  std::vector<std::uint8_t> payload;
+
+  std::uint32_t wire_bytes() const {
+    return kPacketHeaderBytes + static_cast<std::uint32_t>(payload.size());
+  }
+};
+
+/// CRC-32 (IEEE 802.3, reflected, table-driven).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& v) {
+  return crc32(v.data(), v.size());
+}
+
+/// Build a packet carrying an encoded TL command (+ data payload bytes for
+/// data-carrying directions), with checksum filled in.
+Packet encapsulate(NodeId src, NodeId dst, std::uint32_t seq,
+                   const capi::Command& cmd);
+
+/// Validate checksum and decode the TL command; nullopt on corruption.
+std::optional<capi::Command> decapsulate(const Packet& pkt);
+
+}  // namespace tfsim::net

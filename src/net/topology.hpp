@@ -1,0 +1,38 @@
+// Beyond-rack-scale topologies.
+//
+// The prototype the paper measures is a two-node cable; its motivation is a
+// datacenter where borrower-lender pairs share a *switched* network and
+// congestion manifests as increased memory-access latency (§II-B).  These
+// builders produce that fabric: K borrowers and K lenders hanging off two
+// switches joined by one shared trunk -- the congestion point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace tfsim::net {
+
+struct StarTopologyConfig {
+  std::uint32_t pairs = 4;  ///< borrower-lender pairs
+  LinkConfig edge;          ///< node <-> switch hops
+  LinkConfig trunk;         ///< the shared switch <-> switch hop
+};
+
+/// Two-switch dumbbell: borrowers -- switchA == trunk == switchB -- lenders.
+/// With trunk bandwidth equal to one edge link, K active pairs oversubscribe
+/// the trunk K:1.
+struct StarTopology {
+  NodeId switch_a = 0;
+  NodeId switch_b = 0;
+  std::vector<NodeId> borrowers;
+  std::vector<NodeId> lenders;
+
+  /// Builds nodes, links, and per-pair routes in `network` (which must be
+  /// empty).  Pair i routes borrower[i] -> lender[i] across the trunk and
+  /// back.
+  static StarTopology build(Network& network, const StarTopologyConfig& cfg);
+};
+
+}  // namespace tfsim::net

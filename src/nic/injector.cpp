@@ -1,0 +1,52 @@
+#include "nic/injector.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::nic {
+
+DelayInjector::DelayInjector(double fpga_clock_hz, std::uint64_t period)
+    : mode_(Mode::kPeriodGate),
+      tclk_(sim::clock_period(fpga_clock_hz)),
+      period_(period),
+      gate_(tclk_ * period) {
+  if (period_ == 0) {
+    throw std::invalid_argument("DelayInjector: PERIOD must be >= 1");
+  }
+  if (tclk_ == 0) {
+    throw std::invalid_argument("DelayInjector: clock too fast for ps grid");
+  }
+}
+
+DelayInjector::DelayInjector(std::unique_ptr<net::LatencyDistribution> dist)
+    : mode_(Mode::kDistribution), dist_(std::move(dist)) {
+  if (!dist_) {
+    throw std::invalid_argument("DelayInjector: null distribution");
+  }
+}
+
+void DelayInjector::set_period(std::uint64_t period) {
+  if (mode_ != Mode::kPeriodGate) {
+    throw std::logic_error("DelayInjector: set_period in distribution mode");
+  }
+  if (period == 0) {
+    throw std::invalid_argument("DelayInjector: PERIOD must be >= 1");
+  }
+  period_ = period;
+  gate_.set_interval(tclk_ * period);
+}
+
+sim::Time DelayInjector::admit(sim::Time now) {
+  sim::Time out = now;
+  if (mode_ == Mode::kPeriodGate) {
+    // PERIOD == 1: every cycle is admissible; transparent (the vanilla
+    // prototype), so skip even the cycle-boundary alignment.
+    out = period_ == 1 ? now : gate_.request(now);
+  } else {
+    out = now + dist_->sample();
+  }
+  ++admitted_;
+  added_delay_.add(sim::to_us(out - now));
+  return out;
+}
+
+}  // namespace tfsim::nic

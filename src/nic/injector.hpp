@@ -1,0 +1,63 @@
+// Event-level delay injector: the paper's contribution, §III-B.
+//
+// Two modes:
+//  * kPeriodGate  -- faithful to the paper's hardware module: the egress
+//    admits one transaction every PERIOD FPGA clock cycles (READY gating,
+//    Eq. 1).  Modeled as an IntervalServer with interval = PERIOD x Tclk;
+//    the cycle-level RTL model (axi::RateGate) validates the equivalence.
+//  * kDistribution -- the paper's stated future work: each request gets an
+//    extra delay sampled from a distribution (variable latency *within* an
+//    application run) without mutual queueing at the injector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/latency_dist.hpp"
+#include "sim/server.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::nic {
+
+class DelayInjector {
+ public:
+  enum class Mode { kPeriodGate, kDistribution };
+
+  /// Period-gate mode.  `fpga_clock_hz` defines Tclk; `period` >= 1, where
+  /// period == 1 is the vanilla (injector transparent) system.
+  DelayInjector(double fpga_clock_hz, std::uint64_t period);
+
+  /// Distribution mode: per-request extra delay sampled from `dist`.
+  explicit DelayInjector(std::unique_ptr<net::LatencyDistribution> dist);
+
+  /// A transaction arriving at the injector at `now` leaves it at the
+  /// returned time.
+  sim::Time admit(sim::Time now);
+
+  Mode mode() const { return mode_; }
+  std::uint64_t period() const { return period_; }
+  /// Change PERIOD between runs (period-gate mode only).
+  void set_period(std::uint64_t period);
+  sim::Time clock_period() const { return tclk_; }
+  /// interval = PERIOD x Tclk, the admission spacing under saturation.
+  sim::Time interval() const { return tclk_ * period_; }
+
+  std::uint64_t admitted() const { return admitted_; }
+  /// Delay added per request (queueing at the gate / sampled value).
+  const sim::OnlineStats& added_delay() const { return added_delay_; }
+
+ private:
+  Mode mode_;
+  // Period-gate state.
+  sim::Time tclk_ = 0;
+  std::uint64_t period_ = 1;
+  sim::IntervalServer gate_{1};
+  // Distribution state.
+  std::unique_ptr<net::LatencyDistribution> dist_;
+
+  std::uint64_t admitted_ = 0;
+  sim::OnlineStats added_delay_;
+};
+
+}  // namespace tfsim::nic

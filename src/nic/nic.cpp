@@ -1,0 +1,136 @@
+#include "nic/nic.hpp"
+
+#include <stdexcept>
+
+#include "capi/frame.hpp"
+#include "capi/opcodes.hpp"
+#include "net/packet.hpp"
+#include "sim/log.hpp"
+
+namespace tfsim::nic {
+
+namespace {
+// Wire sizes per direction (packet header + TL frame [+ line payload]).
+constexpr std::uint64_t kCmdOnlyBytes =
+    net::kPacketHeaderBytes + capi::kFrameBytes;
+constexpr std::uint64_t kDataBytes =
+    net::kPacketHeaderBytes + capi::kFrameBytes + mem::kCacheLineBytes;
+}  // namespace
+
+DisaggNic::DisaggNic(const NicConfig& cfg, net::Network& network,
+                     net::NodeId self, std::string name)
+    : cfg_(cfg),
+      network_(network),
+      self_(self),
+      name_(std::move(name)),
+      window_(cfg.window_entries, cfg.latency_reserved_entries),
+      injector_(std::make_unique<DelayInjector>(cfg.fpga_clock_hz, cfg.period)),
+      timeout_(cfg.timeout) {}
+
+void DisaggNic::register_lender(std::uint32_t lender_id, net::NodeId lender_node,
+                                mem::Dram* lender_dram,
+                                sim::Time lender_nic_latency) {
+  if (lender_dram == nullptr) {
+    throw std::invalid_argument("DisaggNic: null lender DRAM");
+  }
+  if (!network_.has_route(self_, lender_node) ||
+      !network_.has_route(lender_node, self_)) {
+    throw std::invalid_argument("DisaggNic: no route to lender node");
+  }
+  lenders_[lender_id] = Lender{lender_node, lender_dram, lender_nic_latency};
+}
+
+bool DisaggNic::attach() {
+  if (device_lost_) return false;
+  const sim::Time tclk =
+      injector_->mode() == DelayInjector::Mode::kPeriodGate
+          ? injector_->clock_period()
+          : 0;
+  const auto probe =
+      timeout_.probe(injector_->mode() == DelayInjector::Mode::kPeriodGate
+                         ? injector_->period()
+                         : 1,
+                     tclk);
+  if (!probe.detected) {
+    device_lost_ = true;
+    attached_ = false;
+    TFSIM_LOG(Warn) << name_ << ": FPGA not detected (discovery "
+                    << sim::to_ms(probe.discovery_time)
+                    << " ms > deadline); disaggregated memory cannot attach";
+    return false;
+  }
+  attached_ = true;
+  return true;
+}
+
+void DisaggNic::reset_device() {
+  device_lost_ = false;
+  attached_ = false;
+}
+
+void DisaggNic::set_period(std::uint64_t period) {
+  injector_->set_period(period);
+}
+
+void DisaggNic::set_distribution_injector(
+    std::unique_ptr<net::LatencyDistribution> dist) {
+  injector_ = std::make_unique<DelayInjector>(std::move(dist));
+}
+
+std::optional<AccessTrace> DisaggNic::remote_access(sim::Time now,
+                                                    mem::Addr addr, bool write,
+                                                    sim::Priority prio) {
+  if (!attached_ || device_lost_) {
+    ++failures_;
+    return std::nullopt;
+  }
+  const auto xlat = translator_.translate(addr);
+  if (!xlat.has_value()) {
+    ++failures_;
+    return std::nullopt;
+  }
+  const auto lit = lenders_.find(xlat->lender_id);
+  if (lit == lenders_.end()) {
+    ++failures_;
+    return std::nullopt;
+  }
+  const Lender& lender = lit->second;
+
+  AccessTrace t;
+  t.issued = now;
+  // 1. Window admission (stall while all MSHR entries are in flight).
+  t.admitted = window_.admission_time(now, prio) + cfg_.processing_latency;
+  // 2. Delay injector at the egress (between routing and multiplexing).
+  t.gate_out = injector_->admit(t.admitted);
+  // 3. Packetize + serialize onto the egress path.
+  const std::uint64_t req_bytes = write ? kDataBytes : kCmdOnlyBytes;
+  t.tx_done =
+      network_.deliver(t.gate_out, self_, lender.node, req_bytes, prio);
+  wire_out_ += req_bytes;
+  // 4. Lender NIC + lender memory bus (shared with local apps: MCLN).
+  t.mem_done = lender.dram->access(t.tx_done + lender.nic_latency,
+                                   mem::kCacheLineBytes, prio);
+  // 5. Response path (data-carrying for reads).
+  const std::uint64_t resp_bytes = write ? kCmdOnlyBytes : kDataBytes;
+  const sim::Time resp_arrived = network_.deliver(
+      t.mem_done + lender.nic_latency, lender.node, self_, resp_bytes, prio);
+  wire_in_ += resp_bytes;
+  t.completion = resp_arrived + cfg_.processing_latency;
+
+  window_.record_completion(t.completion, prio);
+  ++seq_;
+  ++(write ? writes_ : reads_);
+  latency_us_.add(sim::to_us(t.completion - t.issued));
+  return t;
+}
+
+void DisaggNic::reset_stats() {
+  reads_ = 0;
+  writes_ = 0;
+  failures_ = 0;
+  wire_out_ = 0;
+  wire_in_ = 0;
+  latency_us_.reset();
+}
+
+}  // namespace tfsim::nic

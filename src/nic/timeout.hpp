@@ -1,0 +1,53 @@
+// FPGA detection / attach timeout model (Fig. 4 reliability cliff).
+//
+// Attaching disaggregated memory requires the host to discover and
+// configure the compute-side FPGA: a burst of sequential configuration
+// reads over the same gated egress path.  With the injector active, the
+// discovery burst takes ~reads x PERIOD x Tclk; if that exceeds the host's
+// detection deadline the device is declared lost and the memory cannot be
+// attached -- exactly what the paper observes at PERIOD = 10000 (an
+// effective delay of ~4 ms) while PERIOD = 1000 (~400 us) still attaches.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace tfsim::nic {
+
+struct TimeoutConfig {
+  /// Sequential configuration-space reads in the discovery handshake.
+  std::uint32_t discovery_reads = 129;
+  /// Fixed cost of the handshake absent injection.
+  sim::Time base_cost = sim::from_us(50.0);
+  /// Host-side detection deadline.
+  sim::Time detection_deadline = sim::from_ms(2.0);
+};
+
+struct AttachProbe {
+  sim::Time discovery_time = 0;
+  bool detected = false;
+};
+
+class TimeoutDetector {
+ public:
+  explicit TimeoutDetector(const TimeoutConfig& cfg = TimeoutConfig())
+      : cfg_(cfg) {}
+
+  /// Probe with the injector configured at `period` on a clock of period
+  /// `tclk`: would the FPGA still be detected?
+  AttachProbe probe(std::uint64_t period, sim::Time tclk) const {
+    AttachProbe p;
+    p.discovery_time =
+        cfg_.base_cost + cfg_.discovery_reads * period * tclk;
+    p.detected = p.discovery_time <= cfg_.detection_deadline;
+    return p;
+  }
+
+  const TimeoutConfig& config() const { return cfg_; }
+
+ private:
+  TimeoutConfig cfg_;
+};
+
+}  // namespace tfsim::nic

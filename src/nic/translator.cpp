@@ -1,0 +1,53 @@
+#include "nic/translator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfsim::nic {
+
+void AddressTranslator::add_segment(Segment seg) {
+  if (seg.borrower.size == 0) {
+    throw std::invalid_argument("AddressTranslator: empty segment " + seg.name);
+  }
+  for (const auto& s : segments_) {
+    if (s.borrower.overlaps(seg.borrower)) {
+      throw std::invalid_argument("AddressTranslator: segment " + seg.name +
+                                  " overlaps " + s.name);
+    }
+  }
+  segments_.push_back(std::move(seg));
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.borrower.base < b.borrower.base;
+            });
+}
+
+bool AddressTranslator::remove_segment(const std::string& name) {
+  const auto it =
+      std::find_if(segments_.begin(), segments_.end(),
+                   [&](const Segment& s) { return s.name == name; });
+  if (it == segments_.end()) return false;
+  segments_.erase(it);
+  return true;
+}
+
+std::optional<Translation> AddressTranslator::translate(
+    mem::Addr borrower_addr) const {
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), borrower_addr,
+                             [](mem::Addr a, const Segment& s) {
+                               return a < s.borrower.base;
+                             });
+  if (it == segments_.begin()) return std::nullopt;
+  --it;
+  if (!it->borrower.contains(borrower_addr)) return std::nullopt;
+  return Translation{it->lender_id,
+                     it->lender_base + (borrower_addr - it->borrower.base)};
+}
+
+std::uint64_t AddressTranslator::mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : segments_) total += s.borrower.size;
+  return total;
+}
+
+}  // namespace tfsim::nic

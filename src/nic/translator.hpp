@@ -1,0 +1,48 @@
+// Address translation between borrower and lender address spaces.
+//
+// The disaggregated-memory NIC translates borrower physical addresses in a
+// hot-plugged remote region into (lender node, lender-local address) before
+// encapsulation.  Segment-based: each reservation contributes one segment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace tfsim::nic {
+
+struct Segment {
+  mem::Range borrower;        ///< borrower physical range
+  mem::Addr lender_base = 0;  ///< base on the lender node
+  std::uint32_t lender_id = 0;
+  std::string name;
+};
+
+struct Translation {
+  std::uint32_t lender_id = 0;
+  mem::Addr lender_addr = 0;
+};
+
+class AddressTranslator {
+ public:
+  /// Install a segment; throws std::invalid_argument on borrower-range
+  /// overlap with an existing segment.
+  void add_segment(Segment seg);
+  /// Remove by name (hot-unplug); returns false if absent.
+  bool remove_segment(const std::string& name);
+
+  /// Translate a borrower physical address; nullopt if unmapped (the NIC
+  /// raises a fail response rather than accessing arbitrary lender memory).
+  std::optional<Translation> translate(mem::Addr borrower_addr) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  std::uint64_t mapped_bytes() const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace tfsim::nic

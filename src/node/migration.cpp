@@ -1,0 +1,67 @@
+#include "node/migration.hpp"
+
+#include "node/node.hpp"
+#include "sim/log.hpp"
+
+namespace tfsim::node {
+
+PageMigrator::PageMigrator(Node& node, const MigrationConfig& cfg)
+    : node_(node), cfg_(cfg) {}
+
+bool PageMigrator::on_remote_access(mem::Addr addr, sim::Time now) {
+  ++stats_.remote_accesses_observed;
+  const std::uint64_t epoch = access_counter_++ / cfg_.epoch_accesses;
+  const mem::Addr page = addr & ~(cfg_.page_bytes - 1);
+  PageState& state = pages_[page];
+
+  if (state.migrated) {
+    if (now >= state.usable_at) {
+      ++stats_.accesses_served_locally;
+      return true;
+    }
+    return false;  // copy still in flight: keep going remote
+  }
+
+  if (state.last_epoch != epoch) {
+    // New epoch for this page: bank the previous epoch's verdict.
+    if (state.last_epoch != ~std::uint64_t{0} &&
+        state.epoch_hits >= cfg_.hot_threshold) {
+      ++state.hot_epochs;
+    }
+    state.last_epoch = epoch;
+    state.epoch_hits = 0;
+  }
+  ++state.epoch_hits;
+
+  if (state.hot_epochs >= cfg_.min_hot_epochs) {
+    migrate(page, state, now);
+  }
+  return false;
+}
+
+void PageMigrator::migrate(mem::Addr page_base, PageState& state,
+                           sim::Time now) {
+  if (stats_.bytes_migrated + cfg_.page_bytes > cfg_.budget_bytes) {
+    ++stats_.budget_rejections;
+    state.hot_epochs = 0;  // back off; re-qualify later
+    return;
+  }
+  // The daemon copies the page with bulk-priority remote reads (it must not
+  // perturb latency-class traffic) and local writes.
+  sim::Time done = now;
+  for (std::uint64_t off = 0; off < cfg_.page_bytes;
+       off += mem::kCacheLineBytes) {
+    const auto trace = node_.nic().remote_access(
+        now, page_base + off, /*write=*/false, sim::Priority::kBulk);
+    if (!trace.has_value()) return;  // device lost mid-copy: abandon
+    node_.dram().access(trace->completion, mem::kCacheLineBytes);
+    done = std::max(done, trace->completion);
+  }
+  state.migrated = true;
+  state.usable_at = done + cfg_.remap_cost;
+  ++stats_.pages_migrated;
+  stats_.bytes_migrated += cfg_.page_bytes;
+  TFSIM_LOG(Debug) << "migrated page 0x" << std::hex << page_base;
+}
+
+}  // namespace tfsim::node

@@ -1,0 +1,75 @@
+// Hot-page migration: the OS-level resource-control mechanism the paper
+// proposes for latency-sensitive workloads ("page migration at the
+// operating system", §IV-D).
+//
+// A kernel daemon samples remote accesses; a page that stays hot across
+// multiple sampling epochs is copied to local DRAM (bulk-class remote reads
+// + local writes + a fixed remap cost), after which accesses to it are
+// local.  Single-burst streaming pages never qualify -- the epoch check is
+// what keeps the migrator from chasing sequential scans.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::node {
+
+class Node;
+
+struct MigrationConfig {
+  std::uint64_t page_bytes = 64 * sim::kKiB;
+  /// Accesses within one epoch for a page to count as hot.
+  std::uint32_t hot_threshold = 32;
+  /// Distinct hot epochs before the page is migrated.
+  std::uint32_t min_hot_epochs = 2;
+  /// Epoch length, in remote accesses observed by the daemon.
+  std::uint64_t epoch_accesses = 1 << 15;
+  /// Local-memory budget for migrated pages.
+  std::uint64_t budget_bytes = 1 * sim::kGiB;
+  /// Page-table update / TLB shootdown cost once the copy lands.
+  sim::Time remap_cost = sim::from_us(10.0);
+};
+
+struct MigrationStats {
+  std::uint64_t pages_migrated = 0;
+  std::uint64_t bytes_migrated = 0;
+  std::uint64_t remote_accesses_observed = 0;
+  std::uint64_t accesses_served_locally = 0;  ///< post-migration hits
+  std::uint64_t budget_rejections = 0;
+};
+
+class PageMigrator {
+ public:
+  PageMigrator(Node& node, const MigrationConfig& cfg);
+
+  /// Called by the memory path for every remote access.  Returns true when
+  /// the page holding `addr` has already been migrated and is usable at
+  /// `now` (the access should be served from local DRAM).  May trigger a
+  /// migration as a side effect.
+  bool on_remote_access(mem::Addr addr, sim::Time now);
+
+  const MigrationConfig& config() const { return cfg_; }
+  const MigrationStats& stats() const { return stats_; }
+
+ private:
+  struct PageState {
+    std::uint64_t last_epoch = ~std::uint64_t{0};
+    std::uint32_t epoch_hits = 0;     ///< accesses within last_epoch
+    std::uint32_t hot_epochs = 0;     ///< distinct epochs that crossed the bar
+    sim::Time usable_at = sim::kTimeNever;  ///< migration completion
+    bool migrated = false;
+  };
+
+  void migrate(mem::Addr page_base, PageState& state, sim::Time now);
+
+  Node& node_;
+  MigrationConfig cfg_;
+  MigrationStats stats_;
+  std::unordered_map<mem::Addr, PageState> pages_;
+  std::uint64_t access_counter_ = 0;
+};
+
+}  // namespace tfsim::node

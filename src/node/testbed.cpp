@@ -1,0 +1,67 @@
+#include "node/testbed.hpp"
+
+#include <memory>
+
+#include "ctrl/policy.hpp"
+#include "sim/log.hpp"
+
+namespace tfsim::node {
+
+TestbedSpec thymesisflow_testbed() {
+  TestbedSpec spec;
+  spec.borrower.name = "borrower";
+  spec.borrower.with_nic = true;
+  spec.lender.name = "lender";
+  spec.lender.with_nic = false;
+  // AC922: 512 GB, dual-socket POWER9.  Link: 100 Gb/s copper.
+  // NIC defaults (129-entry window, 320 MHz, PERIOD 1) live in NicConfig.
+  return spec;
+}
+
+Testbed::Testbed(const TestbedSpec& spec) : spec_(spec) {
+  borrower_ = std::make_unique<Node>(spec_.borrower, engine_, network_);
+  lender_ = std::make_unique<Node>(spec_.lender, engine_, network_);
+  network_.connect(borrower_->net_id(), lender_->net_id(), spec_.link);
+  network_.connect(lender_->net_id(), borrower_->net_id(), spec_.link);
+
+  borrower_reg_ = registry_.add_node(spec_.borrower.name,
+                                     spec_.borrower.dram.capacity_bytes);
+  lender_reg_ = registry_.add_node(spec_.lender.name,
+                                   spec_.lender.dram.capacity_bytes);
+  registry_.set_role(borrower_reg_, ctrl::Role::kBorrower);
+  registry_.set_role(lender_reg_, ctrl::Role::kLender);
+  cp_ = std::make_unique<ctrl::ControlPlane>(
+      registry_, std::make_unique<ctrl::FirstFitPolicy>());
+
+  borrower_->nic().register_lender(lender_reg_, lender_->net_id(),
+                                   &lender_->dram());
+}
+
+bool Testbed::attach_remote() {
+  if (remote_attached()) return true;
+  const std::uint64_t size = spec_.remote_gib * sim::kGiB;
+  const auto reservation =
+      cp_->reserve(borrower_reg_, size, "thymesisflow-borrowed");
+  if (!reservation.has_value()) {
+    TFSIM_LOG(Error) << "testbed: reservation failed";
+    return false;
+  }
+  const auto base = cp_->attach(reservation->id, borrower_->nic(),
+                                borrower_->memory_map());
+  if (!base.has_value()) {
+    TFSIM_LOG(Warn) << "testbed: attach failed (device timeout?)";
+    return false;
+  }
+  remote_base_ = *base;
+  return true;
+}
+
+void Testbed::set_period(std::uint64_t period) {
+  borrower_->nic().set_period(period);
+}
+
+std::uint64_t Testbed::period() const {
+  return const_cast<Testbed*>(this)->borrower_->nic().period();
+}
+
+}  // namespace tfsim::node

@@ -1,0 +1,63 @@
+// The two-node ThymesisFlow testbed, assembled end to end: borrower and
+// lender nodes, the 100 Gb/s point-to-point link, the control plane, and
+// the hot-plugged remote region -- the environment every experiment in the
+// paper runs in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ctrl/control_plane.hpp"
+#include "ctrl/registry.hpp"
+#include "net/network.hpp"
+#include "node/context.hpp"
+#include "node/node.hpp"
+#include "node/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace tfsim::node {
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedSpec& spec = thymesisflow_testbed());
+
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return network_; }
+  Node& borrower() { return *borrower_; }
+  Node& lender() { return *lender_; }
+  ctrl::NodeRegistry& registry() { return registry_; }
+  ctrl::ControlPlane& control_plane() { return *cp_; }
+
+  /// Reserve spec.remote_gib at the lender and hot-plug it into the
+  /// borrower.  Returns false when the FPGA attach handshake times out
+  /// (extreme PERIOD; the Fig. 4 failure).
+  bool attach_remote();
+  bool remote_attached() const { return remote_base_.has_value(); }
+  mem::Addr remote_base() const { return remote_base_.value(); }
+
+  /// Reconfigure the borrower NIC injector between runs.
+  void set_period(std::uint64_t period);
+  std::uint64_t period() const;
+
+  /// A CPU context on the borrower (the node running the workloads).
+  MemContext make_context(const CpuConfig& cfg, std::string name = "ctx") {
+    return MemContext(*borrower_, cfg, std::move(name));
+  }
+
+  const TestbedSpec& spec() const { return spec_; }
+
+ private:
+  TestbedSpec spec_;
+  sim::Engine engine_;
+  net::Network network_;
+  std::unique_ptr<Node> borrower_;
+  std::unique_ptr<Node> lender_;
+  ctrl::NodeRegistry registry_;
+  std::uint32_t borrower_reg_ = 0;
+  std::uint32_t lender_reg_ = 0;
+  std::unique_ptr<ctrl::ControlPlane> cp_;
+  std::optional<mem::Addr> remote_base_;
+};
+
+}  // namespace tfsim::node

@@ -1,0 +1,131 @@
+#include "sim/config.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfsim::sim {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Option::Kind::Flag, "false", help, std::nullopt};
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  options_[name] = Option{Option::Kind::String, def, help, std::nullopt};
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t def,
+                        const std::string& help) {
+  options_[name] = Option{Option::Kind::Int, std::to_string(def), help, std::nullopt};
+}
+
+void ArgParser::add_double(const std::string& name, double def,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  options_[name] = Option{Option::Kind::Double, os.str(), help, std::nullopt};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "tfsim";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n%s", arg.c_str(), usage().c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Option::Kind::Flag) {
+      opt.value = has_value ? value : "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::lookup(const std::string& name,
+                                           Option::Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::logic_error("ArgParser: option not registered: " + name);
+  }
+  if (it->second.kind != kind) {
+    throw std::logic_error("ArgParser: option type mismatch: " + name);
+  }
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::Flag);
+  return opt.value.value_or(opt.def) == "true";
+}
+
+std::string ArgParser::str(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::String);
+  return opt.value.value_or(opt.def);
+}
+
+std::int64_t ArgParser::integer(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::Int);
+  return std::stoll(opt.value.value_or(opt.def));
+}
+
+double ArgParser::real(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::Double);
+  return std::stod(opt.value.value_or(opt.def));
+}
+
+std::vector<std::int64_t> ArgParser::int_list(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::String);
+  const std::string raw = opt.value.value_or(opt.def);
+  std::vector<std::int64_t> out;
+  std::istringstream is(raw);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  }
+  return out;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (opt.kind != Option::Kind::Flag) os << "=<" << opt.def << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tfsim::sim

@@ -1,0 +1,55 @@
+// Command-line configuration for benches and examples.
+//
+// Flags take the form --key=value or --key value; bare --key is a boolean.
+// Every option is registered with a default and a help string, so each
+// binary prints a self-describing --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tfsim::sim {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Register options (call before parse()).
+  void add_flag(const std::string& name, const std::string& help);
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t def, const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+
+  /// Parse argv.  Returns false (after printing usage) on --help or on an
+  /// unknown/malformed option.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Comma-separated integer list option (e.g. --periods=1,10,100).
+  std::vector<std::int64_t> int_list(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    enum class Kind { Flag, String, Int, Double } kind;
+    std::string def;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  const Option& lookup(const std::string& name, Option::Kind kind) const;
+
+  std::string description_;
+  std::string program_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace tfsim::sim

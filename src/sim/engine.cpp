@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tfsim::sim {
+
+Engine::EventId Engine::schedule_at(Time t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time is in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  EventId id(alive);
+  queue_.push(Event{t, next_seq_++, std::move(cb), std::move(alive)});
+  ++live_;
+  return id;
+}
+
+void Engine::cancel(EventId& id) {
+  if (auto alive = id.alive_.lock()) {
+    if (*alive) {
+      *alive = false;
+      assert(live_ > 0);
+      --live_;
+    }
+  }
+  id.alive_.reset();
+}
+
+bool Engine::pop_next(Event& ev) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because we pop immediately and never re-heapify.
+    ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.alive) return true;  // skip cancelled tombstones
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  *ev.alive = false;
+  --live_;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time t) {
+  for (;;) {
+    // Drop cancelled tombstones so the deadline check sees a live event.
+    while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+bool Engine::run_while_pending(const std::function<bool()>& stop) {
+  while (!stop()) {
+    if (!step()) return false;
+  }
+  return true;
+}
+
+}  // namespace tfsim::sim

@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event calendar: callbacks scheduled at absolute simulated
+// times, executed in (time, insertion-order) order.  Deterministic by
+// construction — equal-time events run in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace tfsim::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancelling a scheduled event.  Default-constructed handles
+  /// are inert; cancel() on an already-fired event is a no-op.
+  class EventId {
+   public:
+    EventId() = default;
+    bool valid() const { return !alive_.expired(); }
+
+   private:
+    friend class Engine;
+    explicit EventId(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::weak_ptr<bool> alive_;
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` `dt` after the current time.
+  EventId schedule_in(Time dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
+
+  /// Cancel a previously scheduled event.  Safe on fired/invalid ids.
+  void cancel(EventId& id);
+
+  /// Run the earliest pending event.  Returns false if the calendar is empty.
+  bool step();
+
+  /// Run until the calendar is empty.
+  void run();
+
+  /// Run events with time <= t, then set now() = t.
+  void run_until(Time t);
+
+  /// Run until `stop` returns true (checked after every event) or the
+  /// calendar empties.  Returns true if `stop` triggered the halt.
+  bool run_while_pending(const std::function<bool()>& stop);
+
+  /// Number of live (non-cancelled) scheduled events.
+  std::size_t pending() const { return live_; }
+
+  /// Total events executed since construction (for tests / reporting).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> alive;  // *alive == false => cancelled
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& ev);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tfsim::sim

@@ -1,0 +1,47 @@
+#include "sim/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace tfsim::sim {
+
+namespace {
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("TFSIM_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::Warn;
+}();
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[tfsim:" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace tfsim::sim

@@ -1,0 +1,44 @@
+// Leveled logging to stderr.  Off by default above Warn so benches stay
+// machine-readable; tests can raise verbosity via TFSIM_LOG env var or
+// set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tfsim::sim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parse "debug"/"info"/"warn"/"error"/"off"; returns Warn on junk.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: LOG(Info) << "x=" << x;  Evaluates the stream only
+/// when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+#define TFSIM_LOG(level)                                      \
+  if (::tfsim::sim::log_level() > ::tfsim::sim::LogLevel::level) { \
+  } else                                                      \
+    ::tfsim::sim::LogLine(::tfsim::sim::LogLevel::level)
+
+}  // namespace tfsim::sim

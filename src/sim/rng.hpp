@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// xoshiro256** seeded through SplitMix64, plus the distributions the
+// workloads and the delay-injection framework need (uniform, exponential,
+// lognormal, Pareto, Zipf).  Every experiment takes an explicit seed so runs
+// are bit-for-bit repeatable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tfsim::sim {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Exponential with the given mean (= 1/lambda).
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean, double stddev);
+  /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+  /// Pareto with scale x_m and shape alpha (heavy tail for alpha <= 2).
+  double pareto(double x_m, double alpha);
+
+  /// Split off an independent generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Zipf-distributed integers in [0, n), exponent `s`.  Uses the classic
+/// rejection-inversion-free CDF table for moderate n (key popularity in the
+/// KV-store workload).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double s);
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace tfsim::sim

@@ -1,0 +1,169 @@
+// Analytic FIFO queueing servers.
+//
+// A FIFO server with deterministic service times admits an exact O(1)
+// simulation: the finish time of a request arriving at t is
+// max(t, next_free) + service, and next_free advances to the end of
+// service.  Latency-only post-delays (propagation, DRAM CAS) do not occupy
+// the server.  These servers model the link, the lender memory bus, and the
+// event-level delay injector without per-cycle simulation; the cycle-level
+// AXI model (src/axi) validates the equivalence.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace tfsim::sim {
+
+/// Serializes requests at a fixed bandwidth; adds a fixed latency after
+/// service that does not hold the server.
+class BandwidthServer {
+ public:
+  BandwidthServer(Bandwidth bw, Time post_latency)
+      : bw_(bw), post_latency_(post_latency) {}
+
+  /// Admit `bytes` at time `now`; returns the completion time (service done
+  /// + post latency).
+  Time request(Time now, std::uint64_t bytes) {
+    const Time start = std::max(now, next_free_);
+    const Time done = start + bw_.serialization_time(bytes);
+    next_free_ = done;
+    busy_ += done - start;
+    bytes_ += bytes;
+    ++requests_;
+    return done + post_latency_;
+  }
+
+  /// Earliest time a new request could begin service.
+  Time next_free() const { return next_free_; }
+  /// Queueing + service backlog seen by an arrival at `now`.
+  Time backlog(Time now) const {
+    return next_free_ > now ? next_free_ - now : 0;
+  }
+
+  Bandwidth bandwidth() const { return bw_; }
+  Time post_latency() const { return post_latency_; }
+  std::uint64_t bytes_served() const { return bytes_; }
+  std::uint64_t requests() const { return requests_; }
+  /// Total time the server spent serving (for utilization).
+  Time busy_time() const { return busy_; }
+
+  void set_bandwidth(Bandwidth bw) { bw_ = bw; }
+
+ private:
+  Bandwidth bw_;
+  Time post_latency_;
+  Time next_free_ = 0;
+  Time busy_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+/// Service priority for two-class links (QoS extension: the paper's
+/// "network packet prioritization" resource-control mechanism).
+enum class Priority {
+  kLatency = 0,  ///< latency-sensitive class: bypasses bulk backlog
+  kBulk = 1,     ///< default / throughput class
+};
+
+/// Two-class strict-priority bandwidth server.
+///
+/// Analytic approximation of a priority queue: the latency class sees only
+/// its own backlog plus the residual of the transfer in service; the bulk
+/// class queues behind everything.  Non-preemptive (a bulk frame in flight
+/// finishes), no starvation control -- matching a simple two-queue egress
+/// scheduler.  Capacity accounting is shared, so the classes cannot jointly
+/// exceed the line rate.
+class PriorityBandwidthServer {
+ public:
+  PriorityBandwidthServer(Bandwidth bw, Time post_latency)
+      : bw_(bw), post_latency_(post_latency) {}
+
+  Time request(Time now, std::uint64_t bytes, Priority prio) {
+    const Time ser = bw_.serialization_time(bytes);
+    Time start = 0;
+    if (prio == Priority::kLatency) {
+      // Non-preemptive priority: waits for earlier latency-class traffic
+      // plus at most the residual of the bulk frame on the wire, but jumps
+      // the queued bulk backlog entirely.
+      const Time lo_backlog = lo_next_free_ > now ? lo_next_free_ - now : 0;
+      const Time residual = std::min(lo_backlog, last_bulk_ser_);
+      start = std::max(now + residual, hi_next_free_);
+      hi_next_free_ = start + ser;
+      // The bypassing frame steals wire time from the bulk queue.
+      lo_next_free_ = std::max(lo_next_free_ + ser, hi_next_free_);
+    } else {
+      start = std::max({now, lo_next_free_, hi_next_free_});
+      lo_next_free_ = start + ser;
+      last_bulk_ser_ = ser;
+    }
+    busy_ += ser;
+    bytes_ += bytes;
+    ++requests_;
+    return start + ser + post_latency_;
+  }
+
+  Time request(Time now, std::uint64_t bytes) {
+    return request(now, bytes, Priority::kBulk);
+  }
+
+  Bandwidth bandwidth() const { return bw_; }
+  std::uint64_t bytes_served() const { return bytes_; }
+  std::uint64_t requests() const { return requests_; }
+  Time busy_time() const { return busy_; }
+  Time backlog(Time now, Priority prio) const {
+    const Time horizon =
+        prio == Priority::kLatency ? hi_next_free_ : lo_next_free_;
+    return horizon > now ? horizon - now : 0;
+  }
+
+ private:
+  Bandwidth bw_;
+  Time post_latency_;
+  Time hi_next_free_ = 0;
+  Time lo_next_free_ = 0;
+  Time last_bulk_ser_ = 0;  ///< bounds the non-preemption residual
+  Time busy_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+/// Admits one request every `interval`; the event-level twin of the
+/// cycle-level RateGate (READY high once every PERIOD cycles).  A request
+/// arriving at t is admitted at the first multiple-of-interval boundary at
+/// or after max(t, previous admission + interval).
+class IntervalServer {
+ public:
+  explicit IntervalServer(Time interval) : interval_(interval) {}
+
+  /// Admit a request at `now`; returns the admission time.
+  Time request(Time now) {
+    // The gate opens at integer multiples of interval_ (COUNTER % PERIOD
+    // == 0); the request takes the first open slot not already consumed.
+    Time slot = next_boundary(std::max(now, earliest_));
+    earliest_ = slot + interval_;
+    ++requests_;
+    return slot;
+  }
+
+  Time interval() const { return interval_; }
+  void set_interval(Time interval) { interval_ = interval; }
+  std::uint64_t requests() const { return requests_; }
+  Time backlog(Time now) const {
+    return earliest_ > now ? earliest_ - now : 0;
+  }
+
+ private:
+  Time next_boundary(Time t) const {
+    if (interval_ <= 1) return t;
+    const Time rem = t % interval_;
+    return rem == 0 ? t : t + (interval_ - rem);
+  }
+
+  Time interval_;
+  Time earliest_ = 0;  ///< next admissible slot
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace tfsim::sim

@@ -1,0 +1,168 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tfsim::sim {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += d * nb / nt;
+  m2_ += other.m2_ + d * d * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram()
+    : buckets_(static_cast<std::size_t>(kOctaves) << kSubBucketBits, 0) {}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const double l2 = std::log2(value);
+  auto octave = static_cast<int>(l2);
+  if (octave >= kOctaves) octave = kOctaves - 1;
+  // Position within the octave: value / 2^octave in [1, 2).
+  const double frac = value / std::ldexp(1.0, octave) - 1.0;
+  auto sub = static_cast<std::size_t>(frac * (1u << kSubBucketBits));
+  if (sub >= (1u << kSubBucketBits)) sub = (1u << kSubBucketBits) - 1;
+  return (static_cast<std::size_t>(octave) << kSubBucketBits) + sub;
+}
+
+double Histogram::bucket_midpoint(std::size_t idx) const {
+  const auto octave = static_cast<int>(idx >> kSubBucketBits);
+  const auto sub = idx & ((1u << kSubBucketBits) - 1);
+  const double base = std::ldexp(1.0, octave);
+  const double width = base / (1u << kSubBucketBits);
+  return base + (static_cast<double>(sub) + 0.5) * width;
+}
+
+void Histogram::add_count(double value, std::uint64_t count) {
+  if (count == 0) return;
+  if (total_ == 0) {
+    raw_min_ = value;
+    raw_max_ = value;
+  } else {
+    raw_min_ = std::min(raw_min_, value);
+    raw_max_ = std::max(raw_max_, value);
+  }
+  buckets_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    raw_min_ = other.raw_min_;
+    raw_max_ = other.raw_max_;
+  } else {
+    raw_min_ = std::min(raw_min_, other.raw_min_);
+    raw_max_ = std::max(raw_max_, other.raw_max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  raw_min_ = 0.0;
+  raw_max_ = 0.0;
+}
+
+double Histogram::min() const { return total_ ? raw_min_ : 0.0; }
+double Histogram::max() const { return total_ ? raw_max_ : 0.0; }
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), raw_min_, raw_max_);
+    }
+  }
+  return raw_max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+double RateMeter::bytes_per_sec(std::uint64_t interval_ps) const {
+  if (interval_ps == 0) return 0.0;
+  return static_cast<double>(bytes_) /
+         (static_cast<double>(interval_ps) * 1e-12);
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace tfsim::sim

@@ -1,0 +1,112 @@
+// Synchronization primitives for simulation processes.
+//
+//  * Trigger    — one-shot event; any number of waiters, fires once.
+//  * Semaphore  — counted resource with FIFO waiters (models NIC request
+//                 windows, credit pools, link slots ...).
+//  * Latch      — countdown: fires when N completions have been posted.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace tfsim::sim {
+
+/// One-shot event.  `fire()` resumes all current waiters synchronously and
+/// makes all future awaits ready immediately.
+class Trigger {
+ public:
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) h.resume();
+  }
+
+  /// Re-arm a fired trigger (no waiters may be pending).
+  void reset() {
+    assert(waiters_.empty());
+    fired_ = false;
+  }
+
+  bool await_ready() const noexcept { return fired_; }
+  void await_suspend(std::coroutine_handle<> h) { waiters_.push_back(h); }
+  void await_resume() const noexcept {}
+
+ private:
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counted semaphore with strict FIFO wakeup order (fairness matters: the
+/// paper's Fig. 6 "equal division of bandwidth" depends on fair arbitration).
+class Semaphore {
+ public:
+  explicit Semaphore(std::size_t initial) : count_(initial) {}
+
+  std::size_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  struct Acquire {
+    Semaphore& sem;
+    bool await_ready() noexcept {
+      if (sem.count_ > 0 && sem.waiters_.empty()) {
+        --sem.count_;  // fast path: take the slot without suspending
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+    void await_resume() const noexcept {
+      // Slot was either taken in await_ready or handed over by release().
+    }
+  };
+
+  /// co_await sem.acquire(); takes one slot (FIFO among waiters).
+  Acquire acquire() { return Acquire{*this}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      h.resume();  // slot handed directly to the waiter; count_ unchanged
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  friend struct Acquire;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: `count_down()` N times fires the trigger.
+class Latch {
+ public:
+  explicit Latch(std::size_t n) : remaining_(n) {
+    if (remaining_ == 0) done_.fire();
+  }
+
+  void count_down() {
+    assert(remaining_ > 0);
+    if (--remaining_ == 0) done_.fire();
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+  bool await_ready() const noexcept { return done_.fired(); }
+  void await_suspend(std::coroutine_handle<> h) { done_.await_suspend(h); }
+  void await_resume() const noexcept {}
+
+ private:
+  std::size_t remaining_;
+  Trigger done_;
+};
+
+}  // namespace tfsim::sim

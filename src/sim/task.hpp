@@ -1,0 +1,107 @@
+// C++20 coroutine processes for the simulation engine.
+//
+// A `Task` is an eagerly-started simulation process.  Inside it you can:
+//   co_await delay(engine, dt);     // advance simulated time
+//   co_await trigger;               // wait for a one-shot event
+//   co_await semaphore.acquire();   // wait for a resource slot
+//   co_await other_task;            // join another process
+//
+// Tasks are detached by default: a Task handle may be dropped while the
+// coroutine keeps running under engine control.  Completion state is held in
+// a shared block that survives both the handle and the frame.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace tfsim::sim {
+
+class Task {
+ public:
+  struct State {
+    bool done = false;
+    std::exception_ptr exception;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  struct promise_type {
+    std::shared_ptr<State> state = std::make_shared<State>();
+
+    Task get_return_object() {
+      return Task(state);
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto st = h.promise().state;
+        st->done = true;
+        auto waiters = std::move(st->waiters);
+        h.destroy();
+        for (auto w : waiters) w.resume();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { state->exception = std::current_exception(); }
+  };
+
+  Task() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return !state_ || state_->done; }
+
+  /// Rethrow an exception that escaped the process, if any.
+  void rethrow_if_failed() const {
+    if (state_ && state_->exception) std::rethrow_exception(state_->exception);
+  }
+  bool failed() const { return state_ && state_->exception != nullptr; }
+
+  // Awaitable: co_await task joins it.
+  bool await_ready() const { return done(); }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  void await_resume() const { rethrow_if_failed(); }
+
+ private:
+  explicit Task(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Awaiter that suspends the current process for `dt` simulated time.
+struct DelayAwaiter {
+  Engine& engine;
+  Time dt;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule_in(dt, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Engine& engine, Time dt) { return {engine, dt}; }
+
+/// Awaiter that suspends until absolute simulated time `t` (no-op if past).
+struct UntilAwaiter {
+  Engine& engine;
+  Time t;
+
+  bool await_ready() const noexcept { return engine.now() >= t; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule_at(t, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline UntilAwaiter until(Engine& engine, Time t) { return {engine, t}; }
+
+}  // namespace tfsim::sim

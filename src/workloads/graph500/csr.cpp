@@ -1,0 +1,79 @@
+#include "workloads/graph500/csr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace tfsim::workloads::g500 {
+
+CsrGraph build_csr(const EdgeList& el) {
+  CsrGraph g;
+  g.num_vertices = el.num_vertices;
+  const std::uint64_t n = g.num_vertices;
+
+  // Count directed degrees (both directions; drop self loops).
+  std::vector<std::uint64_t> degree(n, 0);
+  std::uint64_t directed = 0;
+  for (const auto& e : el.edges) {
+    if (e.u == e.v) continue;
+    ++degree[e.u];
+    ++degree[e.v];
+    directed += 2;
+  }
+
+  g.xadj.assign(n + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) g.xadj[v + 1] = g.xadj[v] + degree[v];
+  g.adj.resize(directed);
+  g.weights.resize(directed);
+
+  std::vector<std::uint64_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (const auto& e : el.edges) {
+    if (e.u == e.v) continue;
+    g.adj[cursor[e.u]] = e.v;
+    g.weights[cursor[e.u]++] = e.w;
+    g.adj[cursor[e.v]] = e.u;
+    g.weights[cursor[e.v]++] = e.w;
+  }
+
+  // Sort each adjacency list by target (weights follow).
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t lo = g.xadj[v], hi = g.xadj[v + 1];
+    if (hi - lo < 2) continue;
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return g.adj[a] < g.adj[b];
+    });
+    std::vector<std::uint32_t> tmp_adj(hi - lo);
+    std::vector<float> tmp_w(hi - lo);
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      tmp_adj[i] = g.adj[order[i]];
+      tmp_w[i] = g.weights[order[i]];
+    }
+    std::copy(tmp_adj.begin(), tmp_adj.end(), g.adj.begin() + static_cast<std::ptrdiff_t>(lo));
+    std::copy(tmp_w.begin(), tmp_w.end(), g.weights.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+  return g;
+}
+
+bool CsrGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto lo = adj.begin() + static_cast<std::ptrdiff_t>(xadj[u]);
+  const auto hi = adj.begin() + static_cast<std::ptrdiff_t>(xadj[u + 1]);
+  return std::binary_search(lo, hi, v);
+}
+
+float CsrGraph::min_edge_weight(std::uint32_t u, std::uint32_t v) const {
+  const auto lo = adj.begin() + static_cast<std::ptrdiff_t>(xadj[u]);
+  const auto hi = adj.begin() + static_cast<std::ptrdiff_t>(xadj[u + 1]);
+  auto it = std::lower_bound(lo, hi, v);
+  float best = std::numeric_limits<float>::infinity();
+  while (it != hi && *it == v) {
+    const auto idx = static_cast<std::uint64_t>(it - adj.begin());
+    best = std::min(best, weights[idx]);
+    ++it;
+  }
+  return best;
+}
+
+}  // namespace tfsim::workloads::g500

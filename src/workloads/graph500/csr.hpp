@@ -1,0 +1,40 @@
+// Compressed sparse row graph, built from a Kronecker edge list.
+//
+// Symmetrized (each input edge stored in both directions, as Graph500's
+// BFS treats the graph as undirected), self-loops dropped, adjacency
+// sorted per vertex (enables binary-search edge queries in the
+// validators).  Multi-edges are kept, matching the reference code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph500/kronecker.hpp"
+
+namespace tfsim::workloads::g500 {
+
+struct CsrGraph {
+  std::uint64_t num_vertices = 0;
+  std::vector<std::uint64_t> xadj;  ///< size n+1
+  std::vector<std::uint32_t> adj;   ///< size 2*|E'| (symmetrized)
+  std::vector<float> weights;       ///< parallel to adj
+
+  std::uint64_t num_edges_directed() const { return adj.size(); }
+  std::uint64_t degree(std::uint64_t v) const {
+    return xadj[v + 1] - xadj[v];
+  }
+  /// True if (u,v) is an edge (binary search in sorted adjacency).
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+  /// Smallest weight among (possibly multiple) (u,v) edges; +inf if none.
+  float min_edge_weight(std::uint32_t u, std::uint32_t v) const;
+
+  /// Approximate bytes the CSR occupies (for working-set reporting).
+  std::uint64_t footprint_bytes() const {
+    return xadj.size() * sizeof(std::uint64_t) +
+           adj.size() * (sizeof(std::uint32_t) + sizeof(float));
+  }
+};
+
+CsrGraph build_csr(const EdgeList& el);
+
+}  // namespace tfsim::workloads::g500

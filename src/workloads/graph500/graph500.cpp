@@ -1,0 +1,293 @@
+#include "workloads/graph500/graph500.hpp"
+
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfsim::workloads::g500 {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}
+
+Graph500::Graph500(node::Node& node, const Graph500Config& cfg)
+    : Graph500(node, cfg, kronecker_generate(cfg.gen)) {}
+
+Graph500::Graph500(node::Node& node, const Graph500Config& cfg, EdgeList edges)
+    : node_(node), cfg_(cfg), edges_(std::move(edges)),
+      graph_(build_csr(edges_)) {
+  map_arrays();
+}
+
+Graph500::Graph500(node::Node& node, const Graph500Config& cfg, CsrGraph graph)
+    : node_(node), cfg_(cfg), graph_(std::move(graph)) {
+  map_arrays();
+}
+
+void Graph500::map_arrays() {
+  const auto p = cfg_.placement;
+  if (!edges_.edges.empty()) {
+    edge_map_ = AddrSpan<Edge>(node_, edges_.edges.size(), p);
+  }
+  xadj_map_ = AddrSpan<std::uint64_t>(node_, graph_.xadj.size(), p);
+  adj_map_ = AddrSpan<std::int64_t>(node_, graph_.adj.size(), p);
+  weight_map_ = AddrSpan<float>(node_, graph_.weights.size(), p);
+  parent_map_ = AddrSpan<std::int64_t>(node_, graph_.num_vertices, p);
+  dist_map_ = AddrSpan<float>(node_, graph_.num_vertices, p);
+}
+
+std::uint64_t Graph500::footprint_bytes() const {
+  return edge_map_.bytes() + xadj_map_.bytes() + adj_map_.bytes() +
+         weight_map_.bytes() + parent_map_.bytes() + dist_map_.bytes();
+}
+
+sim::Time Graph500::run_construction() {
+  if (edges_.edges.empty()) {
+    throw std::logic_error("Graph500: no edge list for construction replay");
+  }
+  node::MemContext ctx(node_, cfg_.cpu, "graph500/construct");
+  ctx.seek(node_.engine().now());
+  const sim::Time start = ctx.now();
+
+  // Replay kernel 1's memory traffic against the already-built CSR: stream
+  // the edge list, read the per-vertex cursor (xadj-resident), and scatter
+  // the adjacency entry + weight for both directions of each edge.  The
+  // scatter writes are the bandwidth-hungry part: random lines across an
+  // array far larger than the LLC.
+  std::vector<std::uint64_t> cursor(graph_.xadj.begin(), graph_.xadj.end() - 1);
+  for (std::size_t i = 0; i < edges_.edges.size(); ++i) {
+    const Edge& e = edges_.edges[i];
+    edge_map_.touch_read(ctx, i);  // streaming source read
+    if (e.u == e.v) continue;      // self loops dropped, as in build_csr
+    for (const std::uint32_t end : {e.u, e.v}) {
+      xadj_map_.touch_read(ctx, end);
+      const std::uint64_t slot = cursor[end]++;
+      adj_map_.touch_write(ctx, slot);
+      weight_map_.touch_write(ctx, slot);
+      ctx.advance(cfg_.edge_cost);
+    }
+  }
+  return ctx.drain() - start;
+}
+
+JobResult Graph500::run_bfs_job(std::uint32_t root) {
+  JobResult job;
+  job.construction_elapsed = run_construction();
+  const auto bfs = run_bfs(root);
+  job.kernel_elapsed = bfs.elapsed;
+  job.validation_error = validate_bfs(graph_, root, bfs.parent);
+  return job;
+}
+
+JobResult Graph500::run_sssp_job(std::uint32_t root) {
+  JobResult job;
+  job.construction_elapsed = run_construction();
+  const auto sssp = run_sssp(root);
+  job.kernel_elapsed = sssp.elapsed;
+  job.validation_error = validate_sssp(graph_, root, sssp.dist, sssp.parent);
+  return job;
+}
+
+BfsResult Graph500::run_bfs(std::uint32_t root) {
+  const std::uint64_t n = graph_.num_vertices;
+  BfsResult res;
+  res.root = root;
+  res.parent.assign(n, -1);
+
+  node::MemContext ctx(node_, cfg_.cpu, "graph500/bfs");
+  ctx.seek(node_.engine().now());
+  const sim::Time start = ctx.now();
+
+  std::vector<std::uint32_t> frontier{root};
+  std::vector<std::uint32_t> next;
+  res.parent[root] = root;
+  parent_map_.touch_write(ctx, root);
+  res.vertices_visited = 1;
+
+  while (!frontier.empty()) {
+    next.clear();
+    for (const std::uint32_t u : frontier) {
+      // Row bounds: two sequential reads, usually the same cached line.
+      xadj_map_.touch_read(ctx, u);
+      xadj_map_.touch_read(ctx, u + 1);
+      const std::uint64_t lo = graph_.xadj[u];
+      const std::uint64_t hi = graph_.xadj[u + 1];
+      for (std::uint64_t e = lo; e < hi; ++e) {
+        adj_map_.touch_read(ctx, e);  // streaming edge read (prefetchable)
+        const std::uint32_t v = graph_.adj[e];
+        // Visited check: the address depends on the edge value just read --
+        // a dependent random access, the load that makes BFS latency-bound.
+        parent_map_.touch_read(ctx, v, /*dependent=*/true);
+        ctx.advance(cfg_.edge_cost);
+        ++res.edges_traversed;
+        if (res.parent[v] == -1) {
+          res.parent[v] = u;
+          parent_map_.touch_write(ctx, v);
+          next.push_back(v);
+          ++res.vertices_visited;
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  res.elapsed = ctx.drain() - start;
+  res.teps = res.elapsed
+                 ? static_cast<double>(res.edges_traversed) / sim::to_sec(res.elapsed)
+                 : 0.0;
+  return res;
+}
+
+SsspResult Graph500::run_sssp(std::uint32_t root) {
+  const std::uint64_t n = graph_.num_vertices;
+  SsspResult res;
+  res.root = root;
+  res.dist.assign(n, kInf);
+  res.parent.assign(n, -1);
+
+  node::MemContext ctx(node_, cfg_.cpu, "graph500/sssp");
+  ctx.seek(node_.engine().now());
+  const sim::Time start = ctx.now();
+
+  // Dijkstra with a host-side binary heap; the Graph500 reference SSSP is
+  // delta-stepping, but on one node with non-negative uniform weights
+  // Dijkstra touches the same arrays with the same locality profile.
+  using QEntry = std::pair<float, std::uint32_t>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  res.dist[root] = 0.0f;
+  res.parent[root] = root;
+  dist_map_.touch_write(ctx, root);
+  parent_map_.touch_write(ctx, root);
+  pq.emplace(0.0f, root);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    dist_map_.touch_read(ctx, u, /*dependent=*/true);
+    if (d > res.dist[u]) continue;  // stale entry
+    ++res.vertices_visited;
+    xadj_map_.touch_read(ctx, u);
+    xadj_map_.touch_read(ctx, u + 1);
+    const std::uint64_t lo = graph_.xadj[u];
+    const std::uint64_t hi = graph_.xadj[u + 1];
+    for (std::uint64_t e = lo; e < hi; ++e) {
+      adj_map_.touch_read(ctx, e);
+      weight_map_.touch_read(ctx, e);
+      const std::uint32_t v = graph_.adj[e];
+      const float nd = d + graph_.weights[e];
+      // Relaxation check: address depends on the edge value (dependent).
+      dist_map_.touch_read(ctx, v, /*dependent=*/true);
+      ctx.advance(2 * cfg_.edge_cost);  // SSSP: more work per edge than BFS
+      ++res.edges_relaxed;
+      if (nd < res.dist[v]) {
+        res.dist[v] = nd;
+        res.parent[v] = u;
+        dist_map_.touch_write(ctx, v);
+        parent_map_.touch_write(ctx, v);
+        pq.emplace(nd, v);
+      }
+    }
+  }
+
+  res.elapsed = ctx.drain() - start;
+  res.teps = res.elapsed
+                 ? static_cast<double>(res.edges_relaxed) / sim::to_sec(res.elapsed)
+                 : 0.0;
+  return res;
+}
+
+std::string validate_bfs(const CsrGraph& g, std::uint32_t root,
+                         const std::vector<std::int64_t>& parent) {
+  std::ostringstream err;
+  if (parent.size() != g.num_vertices) return "parent array size mismatch";
+  if (parent[root] != root) return "root is not its own parent";
+
+  // Compute levels by walking parent chains with cycle detection.
+  std::vector<std::int64_t> level(g.num_vertices, -1);
+  level[root] = 0;
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+    if (parent[v] < 0 || level[v] >= 0) continue;
+    // Walk up to the root or a vertex with known level.
+    std::vector<std::uint32_t> chain;
+    std::uint32_t cur = v;
+    while (level[cur] < 0) {
+      chain.push_back(cur);
+      const std::int64_t p = parent[cur];
+      if (p < 0 || p >= static_cast<std::int64_t>(g.num_vertices)) {
+        err << "vertex " << cur << " has invalid parent " << p;
+        return err.str();
+      }
+      if (chain.size() > g.num_vertices) return "parent chain has a cycle";
+      cur = static_cast<std::uint32_t>(p);
+    }
+    std::int64_t l = level[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) level[*it] = ++l;
+  }
+
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+    const std::int64_t p = parent[v];
+    if (p < 0 || v == root) continue;
+    const auto pu = static_cast<std::uint32_t>(p);
+    if (!g.has_edge(pu, v)) {
+      err << "tree edge (" << pu << "," << v << ") not in graph";
+      return err.str();
+    }
+    if (level[v] != level[pu] + 1) {
+      err << "vertex " << v << " level " << level[v]
+          << " != parent level + 1 (" << level[pu] + 1 << ")";
+      return err.str();
+    }
+  }
+  // Reachability completeness: every neighbour of a visited vertex must be
+  // visited (BFS explores the full component).
+  for (std::uint32_t u = 0; u < g.num_vertices; ++u) {
+    if (parent[u] < 0) continue;
+    for (std::uint64_t e = g.xadj[u]; e < g.xadj[u + 1]; ++e) {
+      if (parent[g.adj[e]] < 0) {
+        err << "unvisited vertex " << g.adj[e]
+            << " adjacent to visited " << u;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string validate_sssp(const CsrGraph& g, std::uint32_t root,
+                          const std::vector<float>& dist,
+                          const std::vector<std::int64_t>& parent) {
+  std::ostringstream err;
+  if (dist.size() != g.num_vertices) return "dist array size mismatch";
+  if (dist[root] != 0.0f) return "dist[root] != 0";
+  const float eps = 1e-4f;
+
+  for (std::uint32_t u = 0; u < g.num_vertices; ++u) {
+    if (dist[u] == kInf) continue;
+    // No relaxable edge may remain.
+    for (std::uint64_t e = g.xadj[u]; e < g.xadj[u + 1]; ++e) {
+      const std::uint32_t v = g.adj[e];
+      if (dist[u] + g.weights[e] + eps < dist[v]) {
+        err << "edge (" << u << "," << v << ") still relaxable";
+        return err.str();
+      }
+    }
+    // Tree edge consistency.
+    if (u != root) {
+      const std::int64_t p = parent[u];
+      if (p < 0 || p >= static_cast<std::int64_t>(g.num_vertices)) {
+        err << "visited vertex " << u << " has invalid parent";
+        return err.str();
+      }
+      const auto pu = static_cast<std::uint32_t>(p);
+      const float w = g.min_edge_weight(pu, u);
+      if (dist[pu] + w > dist[u] + eps) {
+        err << "tree edge (" << pu << "," << u << ") inconsistent with dist";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tfsim::workloads::g500

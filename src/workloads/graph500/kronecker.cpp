@@ -1,0 +1,52 @@
+#include "workloads/graph500/kronecker.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
+namespace tfsim::workloads::g500 {
+
+EdgeList kronecker_generate(const KroneckerParams& params) {
+  sim::Rng rng(params.seed);
+  EdgeList el;
+  el.scale = params.scale;
+  el.num_vertices = std::uint64_t{1} << params.scale;
+  const std::uint64_t num_edges = el.num_vertices * params.edgefactor;
+  el.edges.reserve(num_edges);
+
+  const double ab = params.a + params.b;
+  const double c_norm = params.c / (1.0 - ab);
+  const double a_norm = params.a / ab;
+
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < params.scale; ++bit) {
+      const bool ii = rng.uniform() > ab;
+      const bool jj =
+          rng.uniform() > (ii ? c_norm : a_norm);
+      u |= static_cast<std::uint64_t>(ii) << bit;
+      v |= static_cast<std::uint64_t>(jj) << bit;
+    }
+    Edge edge;
+    edge.u = static_cast<std::uint32_t>(u);
+    edge.v = static_cast<std::uint32_t>(v);
+    edge.w = static_cast<float>(rng.uniform());
+    el.edges.push_back(edge);
+  }
+
+  // Random vertex relabeling (the spec's permutation step).
+  std::vector<std::uint32_t> perm(el.num_vertices);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint64_t i = el.num_vertices - 1; i > 0; --i) {
+    const std::uint64_t j = rng.uniform_u64(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  for (auto& edge : el.edges) {
+    edge.u = perm[edge.u];
+    edge.v = perm[edge.v];
+  }
+  return el;
+}
+
+}  // namespace tfsim::workloads::g500

@@ -1,0 +1,35 @@
+// Graph500 Kronecker (R-MAT) edge-list generator.
+//
+// Standard initiator (A,B,C,D) = (0.57, 0.19, 0.19, 0.05), 2^scale
+// vertices, edgefactor x 2^scale edges, uniform [0,1) edge weights for
+// SSSP, and a random vertex relabeling so generator locality does not leak
+// into the cache model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tfsim::workloads::g500 {
+
+struct Edge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  float w = 0.0f;
+};
+
+struct EdgeList {
+  std::uint32_t scale = 0;
+  std::uint64_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+struct KroneckerParams {
+  std::uint32_t scale = 16;
+  std::uint32_t edgefactor = 16;
+  std::uint64_t seed = 20220208;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+};
+
+EdgeList kronecker_generate(const KroneckerParams& params);
+
+}  // namespace tfsim::workloads::g500

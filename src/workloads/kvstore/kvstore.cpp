@@ -1,0 +1,142 @@
+#include "workloads/kvstore/kvstore.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::workloads::kv {
+
+std::string make_value(const std::string& key, std::uint64_t version,
+                       std::uint32_t size) {
+  // xorshift-style expansion of a (key, version) seed: deterministic,
+  // cheap, and different for every version.
+  std::uint64_t s = version * 0x9e3779b97f4a7c15ULL;
+  for (const char c : key) s = (s ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  std::string v(size, '\0');
+  for (std::uint32_t i = 0; i < size; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    v[i] = static_cast<char>('a' + (s % 26));
+  }
+  return v;
+}
+
+std::uint64_t KvStore::hash_key(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : key) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+KvStore::KvStore(node::Node& node, const KvStoreConfig& cfg)
+    : node_(node), cfg_(cfg) {
+  if ((cfg_.buckets & (cfg_.buckets - 1)) != 0 || cfg_.buckets == 0) {
+    throw std::invalid_argument("KvStore: buckets must be a power of two");
+  }
+  buckets_.assign(cfg_.buckets, -1);
+  entries_.reserve(1024);
+  bucket_map_ = AddrSpan<std::uint64_t>(node, cfg_.buckets, cfg_.placement);
+  entry_map_ = AddrSpan<std::uint8_t>(node, cfg_.max_keys * kEntryBytes,
+                                      cfg_.placement);
+  entry_slots_ = cfg_.max_keys;
+  // Aux heap: large enough that per-request touches do not self-cache.
+  aux_heap_ = AddrSpan<std::uint8_t>(node, 2 * sim::kGiB, cfg_.placement);
+}
+
+void KvStore::touch_value(node::MemContext& ctx, mem::Addr addr, bool write) {
+  const std::uint64_t lines = mem::lines_spanned(addr, cfg_.value_size);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    ctx.access(addr + i * mem::kCacheLineBytes, write, /*dependent=*/false);
+  }
+}
+
+void KvStore::touch_aux(node::MemContext& ctx) {
+  // Scattered heap touches (allocator metadata, robj headers, output
+  // buffers): independent accesses over the whole heap, so they miss like
+  // a real allocator-churned heap rather than cycling a cached stride.
+  for (std::uint32_t i = 0; i < cfg_.aux_lines_per_request; ++i) {
+    aux_cursor_ =
+        aux_cursor_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    ctx.read(aux_heap_.addr_of(aux_cursor_ % aux_heap_.bytes()));
+  }
+}
+
+std::int64_t KvStore::find(node::MemContext& ctx, const std::string& key,
+                           std::uint64_t h) {
+  const std::uint64_t b = h & (cfg_.buckets - 1);
+  bucket_map_.touch_read(ctx, b, /*dependent=*/true);
+  std::int64_t idx = buckets_[b];
+  while (idx >= 0) {
+    // Entry metadata: one line, dependent (chain pointer chase).
+    entry_map_.touch_read(ctx, static_cast<std::uint64_t>(idx) * kEntryBytes,
+                          /*dependent=*/true);
+    const Entry& e = entries_[static_cast<std::size_t>(idx)];
+    if (e.live && e.key_hash == h && e.key == key) return idx;
+    idx = e.next;
+  }
+  return -1;
+}
+
+void KvStore::set(node::MemContext& ctx, const std::string& key,
+                  std::uint64_t version) {
+  const std::uint64_t h = hash_key(key);
+  touch_aux(ctx);
+  std::int64_t idx = find(ctx, key, h);
+  if (idx < 0) {
+    if (entries_.size() >= entry_slots_) {
+      throw std::runtime_error("KvStore: max_keys exceeded; raise config");
+    }
+    Entry e;
+    e.key = key;
+    e.key_hash = h;
+    e.value_addr = node_.allocate(cfg_.value_size, cfg_.placement);
+    const std::uint64_t b = h & (cfg_.buckets - 1);
+    e.next = buckets_[b];
+    e.live = true;
+    entries_.push_back(std::move(e));
+    idx = static_cast<std::int64_t>(entries_.size() - 1);
+    buckets_[b] = idx;
+    bucket_map_.touch_write(ctx, b);
+    ++live_entries_;
+  }
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  if (!e.live) {
+    e.live = true;
+    ++live_entries_;
+  }
+  e.version = version;
+  entry_map_.touch_write(ctx, static_cast<std::uint64_t>(idx) * kEntryBytes);
+  touch_value(ctx, e.value_addr, /*write=*/true);
+}
+
+KvStore::GetResult KvStore::get(node::MemContext& ctx, const std::string& key) {
+  GetResult r;
+  const std::uint64_t h = hash_key(key);
+  touch_aux(ctx);
+  const std::int64_t idx = find(ctx, key, h);
+  if (idx < 0) return r;
+  const Entry& e = entries_[static_cast<std::size_t>(idx)];
+  touch_value(ctx, e.value_addr, /*write=*/false);
+  r.found = true;
+  r.version = e.version;
+  r.value = make_value(key, e.version, cfg_.value_size);
+  return r;
+}
+
+bool KvStore::del(node::MemContext& ctx, const std::string& key) {
+  const std::uint64_t h = hash_key(key);
+  const std::int64_t idx = find(ctx, key, h);
+  if (idx < 0) return false;
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  if (!e.live) return false;
+  e.live = false;
+  --live_entries_;
+  entry_map_.touch_write(ctx, static_cast<std::uint64_t>(idx) * kEntryBytes);
+  return true;
+}
+
+std::uint64_t KvStore::footprint_bytes() const {
+  return bucket_map_.bytes() + live_entries_ * (kEntryBytes + cfg_.value_size);
+}
+
+}  // namespace tfsim::workloads::kv

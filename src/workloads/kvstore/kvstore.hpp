@@ -1,0 +1,90 @@
+// Redis-like in-memory key-value store over simulated memory.
+//
+// Chained hash table: buckets -> entry chains -> values.  The dictionary
+// walk is dependent (pointer chasing); the value body is copied with
+// streaming (independent) accesses, like Redis memcpying an SDS string into
+// the output buffer.  Values are deterministic functions of (key, version)
+// so multi-gigabyte datasets need no host backing while GET results remain
+// verifiable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "node/context.hpp"
+#include "node/node.hpp"
+#include "workloads/sim_array.hpp"
+
+namespace tfsim::workloads::kv {
+
+struct KvStoreConfig {
+  std::uint64_t buckets = 1 << 20;  ///< hash buckets (power of two)
+  std::uint64_t max_keys = 1 << 21; ///< entry-slot capacity
+  std::uint32_t value_size = 512;   ///< bytes per value
+  node::Placement placement = node::Placement::kRemote;
+  /// Heap lines the server touches per request besides dict+value (robj
+  /// metadata, SDS headers, allocator, output buffer on the same heap).
+  std::uint32_t aux_lines_per_request = 18;
+};
+
+/// Deterministic value body for (key, version).
+std::string make_value(const std::string& key, std::uint64_t version,
+                       std::uint32_t size);
+
+class KvStore {
+ public:
+  KvStore(node::Node& node, const KvStoreConfig& cfg);
+
+  /// SET key -> (version).  Timed on `ctx`.
+  void set(node::MemContext& ctx, const std::string& key, std::uint64_t version);
+
+  struct GetResult {
+    bool found = false;
+    std::uint64_t version = 0;
+    std::string value;  ///< regenerated body (verifiable)
+  };
+  GetResult get(node::MemContext& ctx, const std::string& key);
+
+  /// DEL; returns true if the key existed.
+  bool del(node::MemContext& ctx, const std::string& key);
+
+  std::uint64_t size() const { return live_entries_; }
+  /// Simulated bytes of dataset (dict + values).
+  std::uint64_t footprint_bytes() const;
+  const KvStoreConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t key_hash = 0;
+    std::uint64_t version = 0;
+    mem::Addr value_addr = 0;   ///< simulated value body location
+    std::int64_t next = -1;     ///< chain link (entry index)
+    bool live = false;
+  };
+
+  static std::uint64_t hash_key(const std::string& key);
+  /// Walk the chain (timed, dependent); returns entry index or -1.
+  std::int64_t find(node::MemContext& ctx, const std::string& key,
+                    std::uint64_t h);
+  /// Touch the value body (independent streaming accesses).
+  void touch_value(node::MemContext& ctx, mem::Addr addr, bool write);
+  void touch_aux(node::MemContext& ctx);
+
+  node::Node& node_;
+  KvStoreConfig cfg_;
+  std::vector<std::int64_t> buckets_;     ///< head entry index or -1
+  std::vector<Entry> entries_;
+  std::uint64_t live_entries_ = 0;
+  AddrSpan<std::uint64_t> bucket_map_;    ///< 8 B per bucket head pointer
+  AddrSpan<std::uint8_t> entry_map_;      ///< 64 B metadata per entry slot
+  static constexpr std::uint32_t kEntryBytes = 64;
+  std::uint64_t entry_slots_ = 0;         ///< reserved entry metadata slots
+  // Aux heap region the server scatters per-request touches over.
+  AddrSpan<std::uint8_t> aux_heap_;
+  std::uint64_t aux_cursor_ = 0;
+};
+
+}  // namespace tfsim::workloads::kv

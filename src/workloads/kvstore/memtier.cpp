@@ -1,0 +1,134 @@
+#include "workloads/kvstore/memtier.hpp"
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+#include "workloads/kvstore/resp.hpp"
+
+namespace tfsim::workloads::kv {
+
+Memtier::Memtier(node::Node& node, KvStore& store, const MemtierConfig& cfg)
+    : node_(node), store_(store), cfg_(cfg) {}
+
+std::string Memtier::key_name(std::uint64_t k) const {
+  return "memtier-" + std::to_string(k);
+}
+
+MemtierResult Memtier::run() {
+  MemtierResult res;
+  sim::Rng rng(cfg_.seed);
+  node::MemContext ctx(node_, cfg_.cpu, "redis/server");
+  ctx.seek(node_.engine().now());
+
+  // Client-side oracle of what each key should hold.
+  std::unordered_map<std::uint64_t, std::uint64_t> expected_version;
+  std::uint64_t version_counter = 1;
+
+  if (cfg_.populate) {
+    const sim::Time t0 = ctx.now();
+    for (std::uint64_t k = 0; k < cfg_.key_space; ++k) {
+      const std::uint64_t v = version_counter++;
+      store_.set(ctx, key_name(k), v);
+      expected_version[k] = v;
+    }
+    res.populate_elapsed = ctx.drain() - t0;
+  }
+
+  // Closed loop: each connection has one request in flight.  The server is
+  // a FIFO; arrivals are kept in a min-heap of (arrival_time, connection).
+  const std::uint64_t num_conns =
+      static_cast<std::uint64_t>(cfg_.threads) * cfg_.connections;
+  const std::uint64_t total_requests = num_conns * cfg_.requests_per_client;
+  const sim::Time half_rtt = cfg_.netstack.client_rtt / 2;
+
+  struct Arrival {
+    sim::Time at;
+    std::uint32_t conn;
+    sim::Time sent;
+    bool operator>(const Arrival& o) const { return at > o.at; }
+  };
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals;
+  std::vector<std::uint64_t> remaining(num_conns, cfg_.requests_per_client);
+
+  const sim::Time bench_start = ctx.now();
+  for (std::uint32_t c = 0; c < num_conns; ++c) {
+    arrivals.push(Arrival{bench_start + half_rtt, c, bench_start});
+  }
+
+  sim::OnlineStats service_us;
+  sim::Time last_reply = bench_start;
+
+  while (!arrivals.empty()) {
+    const Arrival a = arrivals.top();
+    arrivals.pop();
+
+    // Server picks the request up when both it and the request are ready.
+    if (a.at > ctx.now()) ctx.seek(a.at);
+    const sim::Time service_start = ctx.now();
+
+    // Pick the operation and key for this request.
+    const bool is_set = rng.uniform_u64(100) < cfg_.set_percent;
+    const std::uint64_t k = rng.uniform_u64(cfg_.key_space);
+    const std::string key = key_name(k);
+
+    std::string request_wire, reply_wire;
+    if (is_set) {
+      const std::uint64_t v = version_counter++;
+      const std::string value =
+          make_value(key, v, store_.config().value_size);
+      request_wire = resp_encode_command({"SET", key, value});
+      store_.set(ctx, key, v);
+      expected_version[k] = v;
+      reply_wire = resp_encode_simple("OK");
+      ++res.sets;
+    } else {
+      request_wire = resp_encode_command({"GET", key});
+      const auto got = store_.get(ctx, key);
+      if (got.found) {
+        ++res.hits;
+        reply_wire = resp_encode_bulk(got.value);
+        const auto it = expected_version.find(k);
+        if (it == expected_version.end() || got.version != it->second ||
+            got.value !=
+                make_value(key, it->second, store_.config().value_size)) {
+          res.validated = false;
+        }
+      } else {
+        reply_wire = resp_encode_null();
+        if (expected_version.count(k) != 0) res.validated = false;
+      }
+      ++res.gets;
+    }
+
+    // The reply cannot be built before the store's reads complete: a
+    // single-threaded server serializes memory stalls with stack work.
+    ctx.drain();
+    // Kernel/network-stack service cost scales with wire bytes.
+    ctx.advance(cfg_.netstack.service_cost(request_wire.size() + reply_wire.size()));
+    const sim::Time service_end = ctx.now();
+    service_us.add(sim::to_us(service_end - service_start));
+
+    const sim::Time client_receive = service_end + half_rtt;
+    last_reply = std::max(last_reply, client_receive);
+    res.latency_us.add(sim::to_us(client_receive - a.sent));
+    ++res.requests;
+
+    if (--remaining[a.conn] > 0) {
+      // Client immediately pipelines the next request.
+      arrivals.push(Arrival{client_receive + half_rtt, a.conn, client_receive});
+    }
+  }
+
+  res.elapsed = last_reply - bench_start;
+  res.ops_per_sec = res.elapsed
+                        ? static_cast<double>(res.requests) / sim::to_sec(res.elapsed)
+                        : 0.0;
+  res.avg_service_us = service_us.mean();
+  (void)total_requests;
+  return res;
+}
+
+}  // namespace tfsim::workloads::kv

@@ -1,0 +1,76 @@
+// Memtier-like load generator + the Redis-like server loop.
+//
+// Closed-loop clients (threads x connections, each sending
+// requests-per-client requests back to back) against a single-threaded
+// server.  The server's per-request cost = network-stack service cost
+// (kernel, epoll, RESP parse, reply -- the overhead the paper identifies as
+// Redis's limiting factor) + the timed memory accesses of the store
+// operation.  Client-observed latency includes the client-server RTT and
+// server queueing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "node/context.hpp"
+#include "sim/stats.hpp"
+#include "workloads/kvstore/kvstore.hpp"
+
+namespace tfsim::workloads::kv {
+
+/// Kernel + network-stack cost model for one request/response pass.
+struct NetStackModel {
+  sim::Time per_request = sim::from_us(90.0);  ///< syscalls, epoll, parse, reply
+  sim::Time per_kilobyte = sim::from_us(0.35); ///< copies / checksums
+  sim::Time client_rtt = sim::from_us(60.0);   ///< client <-> server network
+
+  sim::Time service_cost(std::uint64_t wire_bytes) const {
+    return per_request +
+           static_cast<sim::Time>(static_cast<double>(per_kilobyte) *
+                                  static_cast<double>(wire_bytes) / 1024.0);
+  }
+};
+
+struct MemtierConfig {
+  std::uint32_t threads = 4;             ///< paper: 4
+  std::uint32_t connections = 50;        ///< per thread; paper: 50
+  std::uint64_t requests_per_client = 10'000;  ///< paper: 10000
+  std::uint32_t set_percent = 10;        ///< memtier default 1:10 set:get
+  std::uint64_t key_space = 500'000;
+  bool populate = true;                  ///< preload every key first
+  std::uint64_t seed = 7;
+  node::CpuConfig cpu{/*mlp=*/32, /*issue_cost=*/sim::from_ns(0.2)};
+  NetStackModel netstack;
+};
+
+struct MemtierResult {
+  std::uint64_t requests = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t hits = 0;
+  sim::Time elapsed = 0;         ///< first request sent -> last reply received
+  double ops_per_sec = 0.0;
+  sim::Histogram latency_us;     ///< client-observed per request
+  double avg_service_us = 0.0;   ///< server-side per request
+  bool validated = true;         ///< every GET body matched expectation
+  sim::Time populate_elapsed = 0;
+};
+
+class Memtier {
+ public:
+  Memtier(node::Node& node, KvStore& store, const MemtierConfig& cfg);
+
+  /// Populate (optional) then run the full closed-loop benchmark.
+  MemtierResult run();
+
+  const MemtierConfig& config() const { return cfg_; }
+
+ private:
+  std::string key_name(std::uint64_t k) const;
+
+  node::Node& node_;
+  KvStore& store_;
+  MemtierConfig cfg_;
+};
+
+}  // namespace tfsim::workloads::kv

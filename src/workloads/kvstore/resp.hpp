@@ -1,0 +1,37 @@
+// Minimal RESP (REdis Serialization Protocol) codec.
+//
+// The KV server speaks RESP like Redis does: requests are arrays of bulk
+// strings, replies are simple strings / bulk strings / errors.  Wire sizes
+// from this codec feed the network-stack cost model, and the codec itself
+// is exercised by protocol unit tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tfsim::workloads::kv {
+
+/// Encode a command (e.g. {"SET", key, value}) as a RESP array of bulk
+/// strings.
+std::string resp_encode_command(const std::vector<std::string>& parts);
+
+/// Encode replies.
+std::string resp_encode_simple(const std::string& s);   // +OK\r\n
+std::string resp_encode_error(const std::string& s);    // -ERR ...\r\n
+std::string resp_encode_bulk(const std::string& s);     // $N\r\n...\r\n
+std::string resp_encode_null();                         // $-1\r\n
+std::string resp_encode_integer(std::int64_t v);        // :N\r\n
+
+struct ParsedCommand {
+  std::vector<std::string> parts;
+  std::size_t consumed = 0;  ///< bytes of input consumed
+};
+
+/// Parse one RESP command array from `data`; nullopt if incomplete or
+/// malformed (malformed sets `*error`).
+std::optional<ParsedCommand> resp_parse_command(const std::string& data,
+                                                std::string* error = nullptr);
+
+}  // namespace tfsim::workloads::kv

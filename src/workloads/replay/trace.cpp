@@ -1,0 +1,125 @@
+#include "workloads/replay/trace.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfsim::workloads::replay {
+
+std::uint64_t Trace::footprint_bytes() const {
+  std::uint64_t hi = 0;
+  for (const auto& op : ops) {
+    if (op.kind != OpKind::kCompute) {
+      hi = std::max(hi, op.value + mem::kCacheLineBytes);
+    }
+  }
+  return hi;
+}
+
+std::uint64_t Trace::accesses() const {
+  std::uint64_t n = 0;
+  for (const auto& op : ops) n += op.kind != OpKind::kCompute ? 1 : 0;
+  return n;
+}
+
+Trace parse_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const char* what) -> void {
+      throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+                               what);
+    };
+    if (line.size() < 3 || line[1] != ' ') fail("expected '<op> <value>'");
+    TraceOp op;
+    int base = 16;
+    switch (line[0]) {
+      case 'R': op.kind = OpKind::kRead; break;
+      case 'W': op.kind = OpKind::kWrite; break;
+      case 'D': op.kind = OpKind::kDependentRead; break;
+      case 'C':
+        op.kind = OpKind::kCompute;
+        base = 10;
+        break;
+      default: fail("unknown op (want R/W/D/C)");
+    }
+    const char* begin = line.data() + 2;
+    const char* end = line.data() + line.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, op.value, base);
+    if (ec != std::errc{} || ptr != end) fail("bad value");
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+Trace parse_trace_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_trace(is);
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  for (const auto& op : trace.ops) {
+    switch (op.kind) {
+      case OpKind::kRead: out << "R " << std::hex << op.value << '\n'; break;
+      case OpKind::kWrite: out << "W " << std::hex << op.value << '\n'; break;
+      case OpKind::kDependentRead:
+        out << "D " << std::hex << op.value << '\n';
+        break;
+      case OpKind::kCompute:
+        out << "C " << std::dec << op.value << '\n';
+        break;
+    }
+  }
+}
+
+void TraceRecorder::access(mem::Addr addr, bool write, bool dependent) {
+  TraceOp op;
+  op.kind = write ? OpKind::kWrite
+                  : (dependent ? OpKind::kDependentRead : OpKind::kRead);
+  op.value = addr - base_;
+  trace_.ops.push_back(op);
+  ctx_.access(addr, write, dependent);
+}
+
+void TraceRecorder::advance(sim::Time dt) {
+  TraceOp op;
+  op.kind = OpKind::kCompute;
+  op.value = static_cast<std::uint64_t>(sim::to_ns(dt));
+  trace_.ops.push_back(op);
+  ctx_.advance(dt);
+}
+
+ReplayResult replay(node::Node& node, const Trace& trace,
+                    node::Placement placement, const node::CpuConfig& cpu) {
+  const std::uint64_t span = trace.footprint_bytes();
+  const mem::Addr base =
+      span == 0 ? 0 : node.allocate(span, placement);
+  node::MemContext ctx(node, cpu, "replay");
+  ctx.seek(node.engine().now());
+  const sim::Time start = ctx.now();
+  for (const auto& op : trace.ops) {
+    switch (op.kind) {
+      case OpKind::kRead: ctx.read(base + op.value); break;
+      case OpKind::kWrite: ctx.write(base + op.value); break;
+      case OpKind::kDependentRead:
+        ctx.read(base + op.value, /*dependent=*/true);
+        break;
+      case OpKind::kCompute:
+        ctx.advance(sim::from_ns(static_cast<double>(op.value)));
+        break;
+    }
+  }
+  ReplayResult res;
+  res.elapsed = ctx.drain() - start;
+  res.accesses = ctx.stats().accesses;
+  res.remote_misses = ctx.stats().remote_misses;
+  res.avg_miss_latency_us = ctx.stats().miss_latency_us.mean();
+  return res;
+}
+
+}  // namespace tfsim::workloads::replay

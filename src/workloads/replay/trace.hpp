@@ -1,0 +1,90 @@
+// Trace capture and replay.
+//
+// Characterizing a workload the library does not implement is a matter of
+// recording its memory accesses once (on real hardware via a PIN/DynamoRIO
+// tool, or from any of the built-in workloads) and replaying the trace
+// against the simulated testbed under different PERIOD / distribution /
+// placement configurations.  The format is line-oriented text, one access
+// per line:
+//
+//     R <hex-offset>            independent read
+//     W <hex-offset>            write
+//     D <hex-offset>            dependent read (pointer chase)
+//     C <nanoseconds>           compute gap
+//
+// Offsets are relative to a base chosen at replay time, so one trace can be
+// replayed local or remote.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mem/address.hpp"
+#include "node/context.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::workloads::replay {
+
+enum class OpKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kDependentRead,
+  kCompute,
+};
+
+struct TraceOp {
+  OpKind kind = OpKind::kRead;
+  std::uint64_t value = 0;  ///< offset (accesses) or nanoseconds (compute)
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+
+  /// Highest offset touched + one line (bytes the replay arena must span).
+  std::uint64_t footprint_bytes() const;
+  std::uint64_t accesses() const;
+};
+
+/// Parse a trace from a stream.  Throws std::runtime_error with the line
+/// number on malformed input.
+Trace parse_trace(std::istream& in);
+Trace parse_trace_string(const std::string& text);
+
+/// Serialize (the exact inverse of parse).
+void write_trace(std::ostream& out, const Trace& trace);
+
+/// Records accesses into a Trace (relative to `base`) while forwarding them
+/// to a MemContext -- wrap a workload's context use to capture its trace.
+class TraceRecorder {
+ public:
+  TraceRecorder(node::MemContext& ctx, mem::Addr base)
+      : ctx_(ctx), base_(base) {}
+
+  void access(mem::Addr addr, bool write, bool dependent = false);
+  void advance(sim::Time dt);
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  node::MemContext& ctx_;
+  mem::Addr base_;
+  Trace trace_;
+};
+
+struct ReplayResult {
+  sim::Time elapsed = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t remote_misses = 0;
+  double avg_miss_latency_us = 0.0;
+};
+
+/// Replay `trace` on `node` with the arena placed per `placement`.
+ReplayResult replay(node::Node& node, const Trace& trace,
+                    node::Placement placement,
+                    const node::CpuConfig& cpu = node::CpuConfig{});
+
+}  // namespace tfsim::workloads::replay

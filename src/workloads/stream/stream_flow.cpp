@@ -1,0 +1,88 @@
+#include "workloads/stream/stream_flow.hpp"
+
+namespace tfsim::workloads {
+
+RemoteStreamFlow::RemoteStreamFlow(sim::Engine& engine, nic::DisaggNic& nic,
+                                   FlowConfig cfg)
+    : engine_(engine), nic_(nic), cfg_(cfg), cursor_(cfg.base),
+      rng_(cfg.seed) {}
+
+void RemoteStreamFlow::start() {
+  stats_.first_issue = engine_.now();
+  for (std::uint32_t i = 0; i < cfg_.concurrency; ++i) {
+    lanes_.push_back(lane(i));
+  }
+}
+
+bool RemoteStreamFlow::finished() const {
+  for (const auto& l : lanes_) {
+    if (!l.done()) return false;
+  }
+  return !lanes_.empty();
+}
+
+sim::Task RemoteStreamFlow::lane(std::uint32_t /*lane_id*/) {
+  std::uint64_t since_pause = 0;
+  // Per-flow phase offset so flows do not synchronize.
+  const sim::Time phase_offset =
+      cfg_.phase_on ? cfg_.seed * sim::from_us(97.0) : 0;
+  while (engine_.now() < cfg_.stop_at) {
+    if (cfg_.phase_on != 0 && cfg_.phase_off != 0) {
+      const sim::Time cycle = cfg_.phase_on + cfg_.phase_off;
+      const sim::Time pos = (engine_.now() + phase_offset) % cycle;
+      if (pos >= cfg_.phase_on) {
+        co_await sim::delay(engine_, cycle - pos);  // sleep out the off phase
+        continue;
+      }
+    }
+    // Next line in the streaming walk (shared cursor: lanes cooperate on
+    // one sequential sweep, like prefetch streams of one application).
+    const mem::Addr addr = cursor_;
+    cursor_ += mem::kCacheLineBytes;
+    if (cursor_ >= cfg_.base + cfg_.span_bytes) cursor_ = cfg_.base;
+
+    const auto trace = nic_.remote_access(engine_.now(), addr, /*write=*/false,
+                                          cfg_.priority);
+    if (!trace.has_value()) co_return;  // detached / unmapped: stop the lane
+    co_await sim::until(engine_, trace->completion);
+    ++stats_.lines_completed;
+    stats_.last_completion = trace->completion;
+    stats_.latency_us.add(sim::to_us(trace->completion - trace->issued));
+
+    if (cfg_.burst_lines != 0 && ++since_pause >= cfg_.burst_lines) {
+      since_pause = 0;
+      co_await sim::delay(engine_, static_cast<sim::Time>(rng_.exponential(
+                                       static_cast<double>(cfg_.idle_mean))));
+    }
+  }
+}
+
+LocalStreamFlow::LocalStreamFlow(sim::Engine& engine, mem::Dram& dram,
+                                 FlowConfig cfg)
+    : engine_(engine), dram_(dram), cfg_(cfg) {}
+
+void LocalStreamFlow::start() {
+  stats_.first_issue = engine_.now();
+  for (std::uint32_t i = 0; i < cfg_.concurrency; ++i) {
+    lanes_.push_back(lane(i));
+  }
+}
+
+bool LocalStreamFlow::finished() const {
+  for (const auto& l : lanes_) {
+    if (!l.done()) return false;
+  }
+  return !lanes_.empty();
+}
+
+sim::Task LocalStreamFlow::lane(std::uint32_t /*lane_id*/) {
+  while (engine_.now() < cfg_.stop_at) {
+    const sim::Time done =
+        dram_.access(engine_.now(), mem::kCacheLineBytes);
+    co_await sim::until(engine_, done);
+    ++stats_.lines_completed;
+    stats_.last_completion = done;
+  }
+}
+
+}  // namespace tfsim::workloads

@@ -1,0 +1,96 @@
+// Closed-loop STREAM-like traffic flows for the contention experiments.
+//
+// The MCBN scenario (Fig. 6) runs N concurrent STREAM instances on the
+// borrower, all using disaggregated memory; MCLN (Fig. 7) pins STREAM
+// instances to the lender's local memory bus while one borrower instance
+// streams remotely.  Concurrent instances need event-driven co-simulation,
+// so each instance here is a set of coroutine "lanes" (its memory-level
+// parallelism) issuing back-to-back line transfers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/address.hpp"
+#include "mem/dram.hpp"
+#include "nic/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace tfsim::workloads {
+
+struct FlowConfig {
+  std::uint32_t concurrency = 32;  ///< in-flight line requests (lanes)
+  mem::Addr base = 0;              ///< address range the flow walks
+  std::uint64_t span_bytes = 256 * 1024 * 1024;
+  sim::Time stop_at = sim::from_ms(10.0);
+  sim::Priority priority = sim::Priority::kBulk;  ///< network QoS class
+  /// Per-lane micro-bursts: after every `burst_lines` lines a lane pauses
+  /// for an exponentially-distributed think time (0 = smooth, always-on).
+  std::uint64_t burst_lines = 0;
+  sim::Time idle_mean = 0;
+  /// Flow-level macro phases: the whole flow alternates `phase_on` of
+  /// traffic with `phase_off` of silence (0 = always on).  Fluctuating
+  /// aggregate load is what gives real congestion its heavy tail.
+  sim::Time phase_on = 0;
+  sim::Time phase_off = 0;
+  std::uint64_t seed = 17;
+};
+
+struct FlowStats {
+  std::uint64_t lines_completed = 0;
+  sim::Time first_issue = 0;
+  sim::Time last_completion = 0;
+  sim::OnlineStats latency_us;  ///< per-line issue-to-completion
+
+  std::uint64_t bytes() const { return lines_completed * mem::kCacheLineBytes; }
+  double bandwidth_gbps(sim::Time elapsed) const {
+    return elapsed ? static_cast<double>(bytes()) / sim::to_sec(elapsed) / 1e9
+                   : 0.0;
+  }
+};
+
+/// One STREAM instance as a remote-memory flow through the borrower NIC.
+class RemoteStreamFlow {
+ public:
+  RemoteStreamFlow(sim::Engine& engine, nic::DisaggNic& nic, FlowConfig cfg);
+
+  /// Spawn the lanes (call once); they run until cfg.stop_at.
+  void start();
+  bool finished() const;
+  const FlowStats& stats() const { return stats_; }
+
+ private:
+  sim::Task lane(std::uint32_t lane_id);
+
+  sim::Engine& engine_;
+  nic::DisaggNic& nic_;
+  FlowConfig cfg_;
+  FlowStats stats_;
+  mem::Addr cursor_ = 0;
+  std::vector<sim::Task> lanes_;
+  sim::Rng rng_;
+};
+
+/// One STREAM instance hammering a node's local memory bus (lender side).
+class LocalStreamFlow {
+ public:
+  LocalStreamFlow(sim::Engine& engine, mem::Dram& dram, FlowConfig cfg);
+
+  void start();
+  bool finished() const;
+  const FlowStats& stats() const { return stats_; }
+
+ private:
+  sim::Task lane(std::uint32_t lane_id);
+
+  sim::Engine& engine_;
+  mem::Dram& dram_;
+  FlowConfig cfg_;
+  FlowStats stats_;
+  std::vector<sim::Task> lanes_;
+};
+
+}  // namespace tfsim::workloads

@@ -1,0 +1,253 @@
+// FIFO, register slice, mux, router, and full egress pipeline composition.
+#include <gtest/gtest.h>
+
+#include "axi/endpoints.hpp"
+#include "axi/fifo.hpp"
+#include "axi/monitor.hpp"
+#include "axi/mux.hpp"
+#include "axi/rate_gate.hpp"
+#include "axi/router.hpp"
+#include "axi/testbench.hpp"
+
+namespace tfsim::axi {
+namespace {
+
+TEST(FifoTest, PassesBeatsInOrder) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  auto& src = tb.add<Source>("src", in);
+  tb.add<Fifo>("fifo", in, out, 4);
+  auto& sink = tb.add<Sink>("sink", out);
+  for (std::uint64_t i = 0; i < 10; ++i) src.push(Beat{i, 0, 0, true});
+  tb.run(30);
+  ASSERT_EQ(sink.received(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.arrivals()[i].beat.id, i);
+  }
+}
+
+TEST(FifoTest, RegisteredOutputAddsOneCycle) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  auto& src = tb.add<Source>("src", in);
+  tb.add<Fifo>("fifo", in, out, 4);
+  auto& sink = tb.add<Sink>("sink", out);
+  src.push(Beat{7, 0, 0, true});
+  tb.run(5);
+  ASSERT_EQ(sink.received(), 1u);
+  // Accepted at cycle 0, visible downstream at cycle 1.
+  EXPECT_EQ(sink.arrivals()[0].cycle, 1u);
+}
+
+TEST(FifoTest, BackpressureWhenFull) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  Source::Config scfg;
+  scfg.saturate = true;
+  tb.add<Source>("src", in, scfg);
+  auto& fifo = tb.add<Fifo>("fifo", in, out, 3);
+  Sink::Config kcfg;
+  kcfg.ready_probability = 0.0;  // stalled consumer
+  tb.add<Sink>("sink", out, kcfg);
+  tb.run(20);
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_EQ(fifo.accepted(), 3u);
+  EXPECT_EQ(fifo.delivered(), 0u);
+  EXPECT_EQ(fifo.max_occupancy(), 3u);
+}
+
+TEST(FifoTest, DrainsAfterStallClears) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  auto& src = tb.add<Source>("src", in);
+  tb.add<Fifo>("fifo", in, out, 2);
+  auto& sink = tb.add<Sink>("sink", out);
+  for (std::uint64_t i = 0; i < 5; ++i) src.push(Beat{i, 0, 0, true});
+  tb.run(20);
+  EXPECT_EQ(sink.received(), 5u);
+}
+
+TEST(FifoTest, RejectsZeroDepth) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  EXPECT_THROW(Fifo("f", in, out, 0), std::invalid_argument);
+}
+
+TEST(RegisterSliceTest, SingleBeatPipelining) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& out = tb.wire("out");
+  Source::Config scfg;
+  scfg.saturate = true;
+  tb.add<Source>("src", in, scfg);
+  tb.add<RegisterSlice>("slice", in, out);
+  auto& sink = tb.add<Sink>("sink", out);
+  auto& mon = tb.add<Monitor>("mon", out, true);
+  tb.run(100);
+  EXPECT_TRUE(mon.clean());
+  // A depth-1 slice with no bypass sustains one beat every 2 cycles.
+  EXPECT_EQ(sink.received(), 50u);
+}
+
+TEST(RouterTest, RoutesByDest) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& o0 = tb.wire("o0");
+  Wire& o1 = tb.wire("o1");
+  auto& src = tb.add<Source>("src", in);
+  auto& router = tb.add<Router>("router", in, std::vector<Wire*>{&o0, &o1});
+  auto& s0 = tb.add<Sink>("s0", o0);
+  auto& s1 = tb.add<Sink>("s1", o1);
+  src.push(Beat{0, 0, 0, true});
+  src.push(Beat{1, 1, 0, true});
+  src.push(Beat{2, 1, 0, true});
+  src.push(Beat{3, 0, 0, true});
+  tb.run(10);
+  EXPECT_EQ(s0.received(), 2u);
+  EXPECT_EQ(s1.received(), 2u);
+  EXPECT_EQ(router.transfers(0), 2u);
+  EXPECT_EQ(router.transfers(1), 2u);
+  EXPECT_EQ(router.misroutes(), 0u);
+}
+
+TEST(RouterTest, OutOfRangeDestIsCountedNotDeadlocked) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& o0 = tb.wire("o0");
+  auto& src = tb.add<Source>("src", in);
+  auto& router = tb.add<Router>("router", in, std::vector<Wire*>{&o0});
+  auto& s0 = tb.add<Sink>("s0", o0);
+  src.push(Beat{0, 5, 0, true});  // bogus dest
+  src.push(Beat{1, 0, 0, true});
+  tb.run(10);
+  EXPECT_EQ(router.misroutes(), 1u);
+  EXPECT_EQ(s0.received(), 1u);
+  EXPECT_EQ(s0.arrivals()[0].beat.id, 1u);
+}
+
+TEST(MuxTest, RoundRobinIsFair) {
+  Testbench tb;
+  Wire& a = tb.wire("a");
+  Wire& b = tb.wire("b");
+  Wire& c = tb.wire("c");
+  Wire& out = tb.wire("out");
+  Source::Config scfg;
+  scfg.saturate = true;
+  tb.add<Source>("sa", a, scfg);
+  Source::Config scfg2 = scfg;
+  scfg2.seed = 99;
+  tb.add<Source>("sb", b, scfg2);
+  Source::Config scfg3 = scfg;
+  scfg3.seed = 123;
+  tb.add<Source>("sc", c, scfg3);
+  auto& mux =
+      tb.add<RoundRobinMux>("mux", std::vector<Wire*>{&a, &b, &c}, out);
+  tb.add<Sink>("sink", out);
+  tb.run(300);
+  // Perfect three-way fairness under saturation.
+  EXPECT_EQ(mux.transfers(0), 100u);
+  EXPECT_EQ(mux.transfers(1), 100u);
+  EXPECT_EQ(mux.transfers(2), 100u);
+}
+
+TEST(MuxTest, NoStarvationWithOneHeavyInput) {
+  Testbench tb;
+  Wire& a = tb.wire("a");
+  Wire& b = tb.wire("b");
+  Wire& out = tb.wire("out");
+  Source::Config heavy;
+  heavy.saturate = true;
+  tb.add<Source>("heavy", a, heavy);
+  auto& light = tb.add<Source>("light", b);
+  auto& mux = tb.add<RoundRobinMux>("mux", std::vector<Wire*>{&a, &b}, out);
+  tb.add<Sink>("sink", out);
+  light.push(Beat{1000, 0, 0, true});
+  tb.run(10);
+  EXPECT_EQ(mux.transfers(1), 1u) << "light input must not starve";
+  EXPECT_GT(mux.transfers(0), 5u);
+}
+
+TEST(MuxTest, SingleInputPassesThrough) {
+  Testbench tb;
+  Wire& a = tb.wire("a");
+  Wire& out = tb.wire("out");
+  Source::Config scfg;
+  scfg.saturate = true;
+  tb.add<Source>("src", a, scfg);
+  tb.add<RoundRobinMux>("mux", std::vector<Wire*>{&a}, out);
+  auto& sink = tb.add<Sink>("sink", out);
+  tb.run(50);
+  EXPECT_EQ(sink.received(), 50u);
+}
+
+// The full ThymesisFlow egress: router -> [gate per route] -> mux, as the
+// paper splices the injector between routing and multiplexing.
+TEST(PipelineTest, EgressWithInjectorKeepsOrderAndRate) {
+  Testbench tb;
+  Wire& in = tb.wire("in");
+  Wire& r0 = tb.wire("r0");
+  Wire& g0 = tb.wire("g0");
+  Wire& out = tb.wire("out");
+  Source::Config scfg;
+  scfg.saturate = true;
+  tb.add<Source>("src", in, scfg);
+  tb.add<Router>("router", in, std::vector<Wire*>{&r0});
+  tb.add<RateGate>("gate", r0, g0, 5);
+  tb.add<RoundRobinMux>("mux", std::vector<Wire*>{&g0}, out);
+  auto& sink = tb.add<Sink>("sink", out);
+  auto& mon = tb.add<Monitor>("mon", out, true);
+  tb.run(500);
+  EXPECT_TRUE(mon.clean());
+  EXPECT_EQ(sink.received(), 100u);
+}
+
+TEST(MonitorTest, DetectsValidRetraction) {
+  // Drive a wire by hand through a testbench with only a monitor.
+  Testbench tb;
+  Wire& w = tb.wire("w");
+  auto& mon = tb.add<Monitor>("mon", w);
+  w.set_valid(true);
+  w.set_beat(Beat{1, 0, 0, true});
+  w.set_ready(false);
+  tb.step();  // offered, not accepted
+  w.set_valid(false);  // illegal retraction
+  tb.step();
+  EXPECT_FALSE(mon.clean());
+  EXPECT_NE(mon.violations()[0].find("retracted"), std::string::npos);
+}
+
+TEST(MonitorTest, DetectsPayloadChangeWhileWaiting) {
+  Testbench tb;
+  Wire& w = tb.wire("w");
+  auto& mon = tb.add<Monitor>("mon", w);
+  w.set_valid(true);
+  w.set_beat(Beat{1, 0, 0, true});
+  w.set_ready(false);
+  tb.step();
+  w.set_beat(Beat{2, 0, 0, true});  // illegal payload mutation
+  tb.step();
+  EXPECT_FALSE(mon.clean());
+  EXPECT_NE(mon.violations()[0].find("payload"), std::string::npos);
+}
+
+TEST(TestbenchTest, DetectsCombinationalLoop) {
+  // A module that keeps toggling a wire never converges.
+  struct Oscillator final : Module {
+    Wire& w;
+    explicit Oscillator(Wire& wire) : Module("osc"), w(wire) {}
+    void eval() override { w.set_valid(!w.valid()); }
+    void tick(std::uint64_t) override {}
+  };
+  Testbench tb;
+  Wire& w = tb.wire("w");
+  tb.add<Oscillator>(w);
+  EXPECT_THROW(tb.step(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tfsim::axi

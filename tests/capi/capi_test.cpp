@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "capi/credit.hpp"
+#include "capi/frame.hpp"
+#include "capi/opcodes.hpp"
+
+namespace tfsim::capi {
+namespace {
+
+class FrameRoundTripTest : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(FrameRoundTripTest, EncodeDecodeIdentity) {
+  Command cmd;
+  cmd.opcode = GetParam();
+  cmd.tag = 0xBEEF;
+  cmd.addr = 0x1234'5678'9ABC'DEF0ULL;
+  cmd.size = 128;
+  const auto buf = encode(cmd);
+  EXPECT_EQ(buf.size(), kFrameBytes);
+  const auto res = decode(buf);
+  ASSERT_TRUE(res.command.has_value());
+  EXPECT_EQ(*res.command, cmd);
+  EXPECT_FALSE(res.error.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, FrameRoundTripTest,
+                         ::testing::Values(Opcode::kNop, Opcode::kReadRequest,
+                                           Opcode::kWriteRequest,
+                                           Opcode::kReadResponse,
+                                           Opcode::kWriteResponse,
+                                           Opcode::kFailResponse));
+
+TEST(FrameTest, TruncatedRejected) {
+  const auto buf = encode(Command{});
+  const auto res = decode(buf.data(), buf.size() - 1);
+  ASSERT_TRUE(res.error.has_value());
+  EXPECT_EQ(*res.error, DecodeError::kTruncated);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  auto buf = encode(Command{});
+  buf[0] ^= 0xFF;
+  const auto res = decode(buf);
+  ASSERT_TRUE(res.error.has_value());
+  EXPECT_EQ(*res.error, DecodeError::kBadMagic);
+}
+
+TEST(FrameTest, EveryFlippedBitIsDetected) {
+  Command cmd;
+  cmd.opcode = Opcode::kReadRequest;
+  cmd.tag = 7;
+  cmd.addr = 0xA5A5A5A5;
+  const auto clean = encode(cmd);
+  // Flipping any single bit anywhere in the frame must be detected
+  // (magic, checksum, or field mismatch -- never silent acceptance of a
+  // different command).
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = clean;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      const auto res = decode(corrupted);
+      if (res.command.has_value()) {
+        EXPECT_EQ(*res.command, cmd)
+            << "bit flip at byte " << byte << " produced a different command";
+        ADD_FAILURE() << "corruption accepted at byte " << byte;
+      }
+    }
+  }
+}
+
+TEST(FrameTest, BadOpcodeRejected) {
+  auto buf = encode(Command{});
+  buf[2] = 0x77;  // invalid opcode
+  // Recompute the checksum so only the opcode check can fire.
+  const auto crc = fletcher32(buf.data(), kFrameBytes - 4);
+  buf[kFrameBytes - 4] = static_cast<std::uint8_t>(crc & 0xff);
+  buf[kFrameBytes - 3] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
+  buf[kFrameBytes - 2] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
+  buf[kFrameBytes - 1] = static_cast<std::uint8_t>((crc >> 24) & 0xff);
+  const auto res = decode(buf);
+  ASSERT_TRUE(res.error.has_value());
+  EXPECT_EQ(*res.error, DecodeError::kBadOpcode);
+}
+
+TEST(FrameTest, Fletcher32KnownProperties) {
+  const std::uint8_t a[] = {1, 2, 3, 4};
+  const std::uint8_t b[] = {1, 2, 4, 3};
+  EXPECT_NE(fletcher32(a, 4), fletcher32(b, 4)) << "order sensitive";
+  EXPECT_EQ(fletcher32(a, 4), fletcher32(a, 4)) << "deterministic";
+  const std::uint8_t odd[] = {9, 9, 9};
+  EXPECT_NE(fletcher32(odd, 3), fletcher32(odd, 2)) << "length sensitive";
+}
+
+TEST(OpcodeTest, RequestResponsePairing) {
+  EXPECT_TRUE(is_request(Opcode::kReadRequest));
+  EXPECT_TRUE(is_request(Opcode::kWriteRequest));
+  EXPECT_FALSE(is_request(Opcode::kReadResponse));
+  EXPECT_TRUE(is_response(Opcode::kFailResponse));
+  EXPECT_EQ(response_for(Opcode::kReadRequest), Opcode::kReadResponse);
+  EXPECT_EQ(response_for(Opcode::kWriteRequest), Opcode::kWriteResponse);
+  EXPECT_EQ(response_for(Opcode::kNop), Opcode::kFailResponse);
+}
+
+TEST(OpcodeTest, WireBytesCountDataDirections) {
+  Command rd{Opcode::kReadRequest, 0, 0, 128};
+  Command wr{Opcode::kWriteRequest, 0, 0, 128};
+  Command rresp{Opcode::kReadResponse, 0, 0, 128};
+  Command wresp{Opcode::kWriteResponse, 0, 0, 128};
+  EXPECT_EQ(wire_bytes(rd), kTlHeaderBytes);
+  EXPECT_EQ(wire_bytes(wr), kTlHeaderBytes + 128);
+  EXPECT_EQ(wire_bytes(rresp), kTlHeaderBytes + 128);
+  EXPECT_EQ(wire_bytes(wresp), kTlHeaderBytes);
+}
+
+TEST(OpcodeTest, ToStringNamesAll) {
+  EXPECT_EQ(to_string(Opcode::kReadRequest), "rd_wnitc");
+  EXPECT_EQ(to_string(Opcode::kWriteRequest), "dma_w");
+  EXPECT_EQ(to_string(Opcode::kNop), "nop");
+}
+
+// --- credits / tags ----------------------------------------------------
+
+TEST(CreditTest, ConsumeRestoreCycle) {
+  CreditPool pool(3);
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_TRUE(pool.try_consume());
+  EXPECT_TRUE(pool.try_consume());
+  EXPECT_TRUE(pool.try_consume());
+  EXPECT_FALSE(pool.try_consume()) << "exhausted";
+  EXPECT_EQ(pool.in_use(), 3u);
+  pool.restore();
+  EXPECT_TRUE(pool.try_consume());
+}
+
+TEST(CreditTest, OverReturnThrows) {
+  CreditPool pool(1);
+  EXPECT_THROW(pool.restore(), std::logic_error);
+}
+
+TEST(TagAllocatorTest, AllocateAllThenExhaust) {
+  TagAllocator tags(4);
+  std::vector<std::uint16_t> got;
+  for (int i = 0; i < 4; ++i) {
+    auto t = tags.allocate();
+    ASSERT_TRUE(t.has_value());
+    got.push_back(*t);
+  }
+  EXPECT_FALSE(tags.allocate().has_value());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint16_t>{0, 1, 2, 3})) << "unique tags";
+  tags.release(2);
+  const auto t = tags.allocate();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2u);
+}
+
+TEST(TagAllocatorTest, OutOfRangeReleaseThrows) {
+  TagAllocator tags(4);
+  EXPECT_THROW(tags.release(4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tfsim::capi

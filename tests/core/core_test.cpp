@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "core/resilience.hpp"
+#include "core/session.hpp"
+
+namespace tfsim::core {
+namespace {
+
+TEST(MetricsTest, DegradationFromTimes) {
+  EXPECT_DOUBLE_EQ(degradation_from_times(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(degradation_from_times(100, 100), 1.0);
+  EXPECT_EQ(degradation_from_times(100, 0), 0.0);
+}
+
+TEST(MetricsTest, DegradationFromRates) {
+  EXPECT_DOUBLE_EQ(degradation_from_rates(1000.0, 500.0), 2.0);
+  EXPECT_EQ(degradation_from_rates(1000.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, BdpUnits) {
+  // 10 GB/s x 1.65 us = 16.5 kB.
+  EXPECT_NEAR(bdp_kb(10.0, 1.65), 16.5, 1e-9);
+}
+
+TEST(TableTest, FormatsAlignedOutput) {
+  Table t("demo", {"col-a", "b"});
+  t.row({"x", "1"});
+  t.row({"longer-cell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("longer-cell"), std::string::npos);
+  EXPECT_NE(s.find("col-a"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t("demo", {"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_EQ(t.data()[0].size(), 3u);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::ratio(1.756), "1.76x");
+  EXPECT_EQ(Table::ratio(2209.4), "2209x");
+}
+
+TEST(TableTest, CsvExport) {
+  Table t("demo", {"a", "b"});
+  t.row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/tfsim_table.csv";
+  ASSERT_TRUE(t.to_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  EXPECT_FALSE(t.to_csv("/no-such-dir-xyz/t.csv"));
+}
+
+// --- session ---------------------------------------------------------------
+
+workloads::StreamConfig tiny_stream() {
+  workloads::StreamConfig cfg;
+  cfg.elements = 600'000;  // 14.4 MB of arrays: beyond the 10 MiB L3
+  return cfg;
+}
+
+TEST(SessionTest, AttachesAndRunsStream) {
+  SessionConfig cfg;
+  cfg.period = 1;
+  Session s(cfg);
+  ASSERT_TRUE(s.attached());
+  const auto res = s.run_stream(tiny_stream());
+  EXPECT_TRUE(res.validated);
+  EXPECT_GT(res.best_bandwidth_gbps, 1.0);
+}
+
+TEST(SessionTest, PeriodReachesInjector) {
+  SessionConfig cfg;
+  cfg.period = 50;
+  Session s(cfg);
+  ASSERT_TRUE(s.attached());
+  EXPECT_EQ(s.injector_interval(), sim::clock_period(320e6) * 50);
+}
+
+TEST(SessionTest, ExtremePeriodFailsAttach) {
+  SessionConfig cfg;
+  cfg.period = 10000;
+  Session s(cfg);
+  EXPECT_FALSE(s.attached());
+}
+
+TEST(SessionTest, DistributionModeConfigures) {
+  SessionConfig cfg;
+  cfg.dist_kind = net::DistKind::kExponential;
+  cfg.dist_mean = sim::from_us(1);
+  Session s(cfg);
+  ASSERT_TRUE(s.attached());
+  EXPECT_EQ(s.injector_interval(), 0u) << "no fixed interval in dist mode";
+  const auto res = s.run_stream(tiny_stream());
+  EXPECT_TRUE(res.validated);
+}
+
+TEST(SessionTest, LocalPlacementIgnoresInjector) {
+  SessionConfig remote_cfg;
+  remote_cfg.period = 200;
+  Session remote(remote_cfg);
+  const auto r = remote.run_stream(tiny_stream());
+
+  SessionConfig local_cfg;
+  local_cfg.period = 200;
+  local_cfg.placement = node::Placement::kLocal;
+  Session local(local_cfg);
+  const auto l = local.run_stream(tiny_stream());
+  EXPECT_GT(l.best_bandwidth_gbps, 20 * r.best_bandwidth_gbps);
+}
+
+// --- resilience ---------------------------------------------------------------
+
+ResilienceOptions tiny_resilience() {
+  ResilienceOptions opts;
+  opts.stream = tiny_stream();
+  return opts;
+}
+
+TEST(ResilienceTest, HealthyAtLowPeriod) {
+  const auto p = assess_resilience(1, tiny_resilience());
+  EXPECT_TRUE(p.attached);
+  EXPECT_EQ(p.health, HealthClass::kHealthy);
+  EXPECT_GT(p.stream_bandwidth_gbps, 0.0);
+}
+
+TEST(ResilienceTest, DegradedAtHighPeriod) {
+  const auto p = assess_resilience(1000, tiny_resilience());
+  EXPECT_TRUE(p.attached);
+  EXPECT_EQ(p.health, HealthClass::kDegraded);
+  EXPECT_GT(p.stream_latency_us, 100.0);
+}
+
+TEST(ResilienceTest, DeviceLostAtExtremePeriod) {
+  const auto p = assess_resilience(10000, tiny_resilience());
+  EXPECT_FALSE(p.attached);
+  EXPECT_EQ(p.health, HealthClass::kDeviceLost);
+  EXPECT_EQ(p.stream_latency_us, 0.0);
+}
+
+TEST(ResilienceTest, ClassNames) {
+  EXPECT_EQ(to_string(HealthClass::kHealthy), "healthy");
+  EXPECT_EQ(to_string(HealthClass::kDegraded), "degraded");
+  EXPECT_EQ(to_string(HealthClass::kDeviceLost), "device-lost");
+}
+
+}  // namespace
+}  // namespace tfsim::core

@@ -1,0 +1,151 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tfsim::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 8 sets x 2 ways x 128 B = 2 KiB.
+  return CacheConfig{2048, 2, 128, Replacement::kLru};
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  SetAssocCache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000 + 64, false).hit) << "same line";
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  SetAssocCache c(small_cache());
+  // Three lines mapping to the same set (set stride = 8 sets * 128 B = 1 KiB).
+  const Addr a = 0x0000, b = 0x0000 + 8 * 1024, d = 0x0000 + 16 * 1024;
+  // Same set check: all map to set 0 (line_no % 8 == 0).
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);  // a is now MRU
+  c.access(d, false);  // evicts b (LRU)
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+}
+
+TEST(CacheTest, DirtyVictimReportsWriteback) {
+  SetAssocCache c(small_cache());
+  const Addr a = 0x0000, b = 8 * 1024, d = 16 * 1024;
+  c.access(a, true);   // dirty
+  c.access(b, false);  // clean
+  const auto r = c.access(d, false);  // evicts a (LRU, dirty)
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_line, a);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, CleanVictimNoWriteback) {
+  SetAssocCache c(small_cache());
+  const Addr a = 0x0000, b = 8 * 1024, d = 16 * 1024;
+  c.access(a, false);
+  c.access(b, false);
+  const auto r = c.access(d, false);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(CacheTest, WriteHitMarksDirty) {
+  SetAssocCache c(small_cache());
+  const Addr a = 0x0000, b = 8 * 1024, d = 16 * 1024;
+  c.access(a, false);  // clean fill
+  c.access(a, true);   // write hit dirties it
+  c.access(b, false);
+  c.access(b, false);  // b MRU
+  const auto r = c.access(d, false);  // evict a
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(CacheTest, InvalidateDropsLine) {
+  SetAssocCache c(small_cache());
+  c.access(0x2000, true);
+  bool dirty = false;
+  EXPECT_TRUE(c.invalidate(0x2000, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_FALSE(c.invalidate(0x2000));
+}
+
+TEST(CacheTest, InvalidateRange) {
+  SetAssocCache c(CacheConfig{64 * 1024, 4, 128});
+  for (Addr a = 0; a < 16 * 1024; a += 128) c.access(a, false);
+  const auto dropped = c.invalidate_range(Range{4096, 4096});
+  EXPECT_EQ(dropped, 4096u / 128u);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(4096));
+  EXPECT_FALSE(c.probe(8191));
+  EXPECT_TRUE(c.probe(8192));
+}
+
+TEST(CacheTest, ResidentLinesAndFlush) {
+  SetAssocCache c(small_cache());
+  for (Addr a = 0; a < 2048; a += 128) c.access(a, false);
+  EXPECT_EQ(c.resident_lines(), 16u);
+  c.flush();
+  EXPECT_EQ(c.resident_lines(), 0u);
+}
+
+TEST(CacheTest, FullSweepBeyondCapacityEvicts) {
+  SetAssocCache c(small_cache());
+  for (Addr a = 0; a < 64 * 1024; a += 128) c.access(a, false);
+  EXPECT_EQ(c.resident_lines(), 16u);  // never exceeds capacity
+  EXPECT_EQ(c.stats().misses, 512u);   // streaming: everything misses
+}
+
+TEST(CacheTest, GeometryValidation) {
+  EXPECT_THROW(SetAssocCache(CacheConfig{2048, 2, 100}), std::invalid_argument)
+      << "non power-of-two line";
+  EXPECT_THROW(SetAssocCache(CacheConfig{2048, 0, 128}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(CacheConfig{2000, 2, 128}), std::invalid_argument)
+      << "size not divisible into sets";
+}
+
+TEST(CacheTest, RandomReplacementStaysWithinSet) {
+  SetAssocCache c(CacheConfig{2048, 2, 128, Replacement::kRandom});
+  const Addr a = 0x0000, b = 8 * 1024, d = 16 * 1024;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(d, false);  // evicts a or b, at random
+  EXPECT_TRUE(c.probe(d));
+  EXPECT_EQ(c.resident_lines(), 2u);
+  EXPECT_NE(c.probe(a), c.probe(b)) << "exactly one victim";
+}
+
+TEST(CacheTest, RandomReplacementLetsStreamsEvictHotLines) {
+  // Property behind the L3 model: under random replacement a hot line's
+  // survival decays as streaming pressure rises; under LRU it survives as
+  // long as reuse distance < capacity.
+  const CacheConfig lru_cfg{64 * 1024, 8, 128, Replacement::kLru};
+  const CacheConfig rnd_cfg{64 * 1024, 8, 128, Replacement::kRandom};
+  auto run = [](const CacheConfig& cfg) {
+    SetAssocCache c(cfg, "probe");
+    const Addr hot = 0;
+    std::uint64_t hot_hits = 0;
+    Addr stream = 1 << 20;
+    for (int round = 0; round < 2000; ++round) {
+      hot_hits += c.access(hot, false).hit ? 1 : 0;
+      for (int s = 0; s < 3; ++s) {  // streaming pressure between touches
+        c.access(stream, false);
+        stream += 128;
+      }
+    }
+    return hot_hits;
+  };
+  const auto lru_hits = run(lru_cfg);
+  const auto rnd_hits = run(rnd_cfg);
+  EXPECT_GT(lru_hits, 1990u) << "LRU keeps the hot line";
+  EXPECT_LT(rnd_hits, lru_hits) << "random replacement must lose it sometimes";
+}
+
+}  // namespace
+}  // namespace tfsim::mem

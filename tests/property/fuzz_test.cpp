@@ -1,0 +1,92 @@
+// Randomized robustness: decoders must never crash, loop, or silently
+// accept garbage, no matter the input bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "capi/frame.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "workloads/kvstore/resp.hpp"
+
+namespace tfsim {
+namespace {
+
+TEST(FrameFuzzTest, RandomBytesNeverDecodeSilently) {
+  sim::Rng rng(0xF00D);
+  int accepted = 0;
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::vector<std::uint8_t> buf(rng.uniform_u64(2 * capi::kFrameBytes));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    const auto res = capi::decode(buf.data(), buf.size());
+    // Either a command or an error, never both/neither.
+    EXPECT_NE(res.command.has_value(), res.error.has_value());
+    accepted += res.command.has_value() ? 1 : 0;
+  }
+  // Magic (16 bits) + Fletcher-32 make random acceptance essentially
+  // impossible.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(FrameFuzzTest, TruncationsOfValidFrameAreRejected) {
+  capi::Command cmd;
+  cmd.opcode = capi::Opcode::kReadRequest;
+  cmd.addr = 0x42;
+  const auto buf = capi::encode(cmd);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const auto res = capi::decode(buf.data(), len);
+    EXPECT_FALSE(res.command.has_value()) << "accepted at length " << len;
+  }
+}
+
+TEST(PacketFuzzTest, RandomPayloadMutationsAreCaught) {
+  sim::Rng rng(0xBEEF);
+  capi::Command cmd;
+  cmd.opcode = capi::Opcode::kWriteRequest;
+  cmd.size = 128;
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto pkt = net::encapsulate(0, 1, static_cast<std::uint32_t>(trial), cmd);
+    const auto idx = rng.uniform_u64(pkt.payload.size());
+    const auto bit = rng.uniform_u64(8);
+    pkt.payload[idx] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_FALSE(net::decapsulate(pkt).has_value())
+        << "flip at byte " << idx << " bit " << bit;
+  }
+}
+
+TEST(RespFuzzTest, RandomStringsNeverCrashOrLoop) {
+  sim::Rng rng(0xCAFE);
+  const char alphabet[] = "*$:+-\r\n0123456789abcGETSET ";
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::string s;
+    const auto len = rng.uniform_u64(64);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s += alphabet[rng.uniform_u64(sizeof(alphabet) - 1)];
+    }
+    std::string err;
+    const auto parsed = workloads::kv::resp_parse_command(s, &err);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->consumed, s.size());
+    }
+  }
+}
+
+TEST(RespFuzzTest, MutatedValidCommandsParseOrFailCleanly) {
+  sim::Rng rng(0xD00D);
+  const auto wire =
+      workloads::kv::resp_encode_command({"SET", "key-123", "value-body"});
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string s = wire;
+    s[rng.uniform_u64(s.size())] =
+        static_cast<char>(rng.uniform_u64(128));
+    const auto parsed = workloads::kv::resp_parse_command(s);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->consumed, s.size());
+      EXPECT_LE(parsed->parts.size(), 1024u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfsim

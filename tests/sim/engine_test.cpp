@@ -1,0 +1,135 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace tfsim::sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(EngineTest, EqualTimesRunInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EngineTest, ScheduleInIsRelative) {
+  Engine e;
+  Time seen = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_in(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EngineTest, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(10, [&] { ran = true; });
+  EXPECT_EQ(e.pending(), 1u);
+  e.cancel(id);
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, CancelAfterFireIsNoop) {
+  Engine e;
+  auto id = e.schedule_at(10, [] {});
+  e.run();
+  e.cancel(id);  // must not crash or corrupt counters
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, CancelledEventDoesNotBlockRunUntil) {
+  Engine e;
+  bool ran = false;
+  auto early = e.schedule_at(10, [&] { ran = true; });
+  e.schedule_at(100, [] {});
+  e.cancel(early);
+  e.run_until(50);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.now(), 50u);
+  EXPECT_EQ(e.pending(), 1u);  // the t=100 event still waits
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.run_until(1234);
+  EXPECT_EQ(e.now(), 1234u);
+}
+
+TEST(EngineTest, RunUntilExecutesBoundaryEvent) {
+  Engine e;
+  bool at_boundary = false, after = false;
+  e.schedule_at(100, [&] { at_boundary = true; });
+  e.schedule_at(101, [&] { after = true; });
+  e.run_until(100);
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(after);
+}
+
+TEST(EngineTest, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, RunWhilePendingStops) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) {
+    e.schedule_at(static_cast<Time>(i), [&] { ++count; });
+  }
+  const bool stopped = e.run_while_pending([&] { return count >= 10; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) e.schedule_in(10, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 40u);
+  EXPECT_EQ(e.executed(), 5u);
+}
+
+}  // namespace
+}  // namespace tfsim::sim

@@ -1,0 +1,60 @@
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfsim::sim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::Warn) << "safe default";
+}
+
+TEST(LogTest, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+}
+
+TEST(LogTest, MacroSkipsDisabledLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  TFSIM_LOG(Debug) << count();
+  TFSIM_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 0) << "stream must not be evaluated when disabled";
+  set_log_level(LogLevel::Debug);
+  TFSIM_LOG(Info) << "visible at debug level: " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, EmitDoesNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  TFSIM_LOG(Debug) << "debug";
+  TFSIM_LOG(Info) << "info";
+  TFSIM_LOG(Warn) << "warn " << 1 << ' ' << 2.5;
+  TFSIM_LOG(Error) << "error";
+}
+
+}  // namespace
+}  // namespace tfsim::sim

@@ -1,0 +1,146 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tfsim::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRangeEvenly) {
+  Rng rng(11);
+  constexpr std::uint64_t n = 10;
+  std::vector<std::uint64_t> counts(n, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(n)];
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, kDraws * 0.01);
+  }
+}
+
+TEST(RngTest, UniformU64One) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+struct DistCase {
+  const char* name;
+  double expected_mean;
+  double tolerance;
+};
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, NormalMeanAndStddevMatch) {
+  Rng rng(17);
+  constexpr int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LognormalMeanMatchesFormula) {
+  Rng rng(19);
+  const double mu = 1.0, sigma = 0.5;
+  constexpr int n = 400000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndMean) {
+  Rng rng(23);
+  const double xm = 2.0, alpha = 3.0;
+  constexpr int n = 400000;
+  double sum = 0, min_seen = 1e30;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(xm, alpha);
+    sum += x;
+    min_seen = std::min(min_seen, x);
+  }
+  EXPECT_GE(min_seen, xm);
+  EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1), 0.05);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  // The split stream should not mirror the parent.
+  Rng a2(42);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (b.next() == a2.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, FirstRankIsMostPopular) {
+  Rng rng(29);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Harmonic law: rank 0 is ~100/5.19 times rank... check ratio loosely.
+  EXPECT_GT(static_cast<double>(counts[0]) / std::max(1, counts[9]), 5.0);
+}
+
+TEST(ZipfTest, AllValuesInRange) {
+  Rng rng(31);
+  ZipfGenerator zipf(10, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 10u);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(37);
+  ZipfGenerator zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf(rng)];
+  for (auto c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+}  // namespace
+}  // namespace tfsim::sim

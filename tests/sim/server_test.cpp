@@ -1,0 +1,115 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfsim::sim {
+namespace {
+
+constexpr Bandwidth kGbps1 = Bandwidth{1e9};  // 1 GB/s -> 1 ns per byte
+
+TEST(BandwidthServerTest, SingleRequestLatency) {
+  BandwidthServer s(kGbps1, /*post_latency=*/from_ns(100));
+  // 1000 bytes at 1 GB/s = 1000 ns serialization + 100 ns post.
+  EXPECT_EQ(s.request(0, 1000), from_ns(1100));
+}
+
+TEST(BandwidthServerTest, BackToBackRequestsQueue) {
+  BandwidthServer s(kGbps1, 0);
+  EXPECT_EQ(s.request(0, 1000), from_ns(1000));
+  // Arrives while busy: waits for the first to finish serializing.
+  EXPECT_EQ(s.request(0, 1000), from_ns(2000));
+  EXPECT_EQ(s.request(from_ns(500), 1000), from_ns(3000));
+}
+
+TEST(BandwidthServerTest, IdleGapResetsQueue) {
+  BandwidthServer s(kGbps1, 0);
+  s.request(0, 1000);
+  // Arrival long after the server drained: no queueing.
+  EXPECT_EQ(s.request(from_ns(10000), 1000), from_ns(11000));
+}
+
+TEST(BandwidthServerTest, PostLatencyDoesNotOccupyServer) {
+  BandwidthServer s(kGbps1, from_ns(1000000));
+  const Time first = s.request(0, 100);
+  const Time second = s.request(0, 100);
+  // Completion includes post latency, but the second request only waits
+  // for the first serialization (100 ns), not the post latency.
+  EXPECT_EQ(first, from_ns(100 + 1000000));
+  EXPECT_EQ(second, from_ns(200 + 1000000));
+}
+
+TEST(BandwidthServerTest, BacklogAndBusyAccounting) {
+  BandwidthServer s(kGbps1, 0);
+  s.request(0, 5000);
+  EXPECT_EQ(s.backlog(from_ns(1000)), from_ns(4000));
+  EXPECT_EQ(s.backlog(from_ns(6000)), 0u);
+  EXPECT_EQ(s.busy_time(), from_ns(5000));
+  EXPECT_EQ(s.bytes_served(), 5000u);
+  EXPECT_EQ(s.requests(), 1u);
+}
+
+TEST(BandwidthServerTest, ZeroBandwidthNeverCompletes) {
+  BandwidthServer s(Bandwidth{0.0}, 0);
+  EXPECT_EQ(s.request(0, 1), kTimeNever);
+}
+
+TEST(BandwidthServerTest, ThroughputMatchesBandwidthUnderSaturation) {
+  BandwidthServer s(Bandwidth::from_gbyte(10.0), from_ns(300));
+  Time t = 0;
+  constexpr int kN = 10000;
+  Time last = 0;
+  for (int i = 0; i < kN; ++i) last = s.request(t, 128);
+  // kN * 128 bytes at 10 GB/s = kN * 12.8 ns.
+  const double expected_ns = kN * 12.8 + 300;
+  EXPECT_NEAR(to_ns(last), expected_ns, 1.0 + kN * 0.01);
+}
+
+// --- IntervalServer (event-level injector core) -----------------------
+
+TEST(IntervalServerTest, AdmitsOnBoundaries) {
+  IntervalServer s(100);
+  EXPECT_EQ(s.request(0), 0u);      // boundary 0
+  EXPECT_EQ(s.request(0), 100u);    // next slot
+  EXPECT_EQ(s.request(0), 200u);
+  EXPECT_EQ(s.request(250), 300u);  // rounds up to the next boundary
+}
+
+TEST(IntervalServerTest, SparseArrivalsAlignUp) {
+  IntervalServer s(100);
+  EXPECT_EQ(s.request(101), 200u);
+  EXPECT_EQ(s.request(999), 1000u);
+  EXPECT_EQ(s.request(1200), 1200u);  // exactly on a free boundary
+}
+
+TEST(IntervalServerTest, IntervalOneIsTransparent) {
+  IntervalServer s(1);
+  EXPECT_EQ(s.request(0), 0u);
+  EXPECT_EQ(s.request(12345), 12345u);
+}
+
+class IntervalPropertyTest : public ::testing::TestWithParam<Time> {};
+
+TEST_P(IntervalPropertyTest, AdmissionsAreSpacedAndAligned) {
+  const Time interval = GetParam();
+  IntervalServer s(interval);
+  Time prev = 0;
+  bool first = true;
+  std::uint64_t seed = 99;
+  Time now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1;
+    now += seed % (2 * interval);  // jittered arrivals
+    const Time slot = s.request(now);
+    EXPECT_GE(slot, now);
+    EXPECT_EQ(slot % interval, 0u) << "must admit on a gate boundary";
+    if (!first) EXPECT_GE(slot, prev + interval) << "min spacing violated";
+    prev = slot;
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, IntervalPropertyTest,
+                         ::testing::Values(2, 3, 10, 64, 1000, 31250));
+
+}  // namespace
+}  // namespace tfsim::sim

@@ -1,0 +1,173 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace tfsim::sim {
+namespace {
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+// Histogram quantiles must agree with exact quantiles within the bucket
+// relative error (1/64 per octave ~ 1.6%).
+class HistogramQuantileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramQuantileTest, MatchesSortedReference) {
+  const double q = GetParam();
+  Rng rng(71);
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.lognormal(3.0, 1.0);  // wide dynamic range
+    h.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(values.size()) - 1,
+                       std::ceil(q * static_cast<double>(values.size())) - 1));
+  const double exact = values[idx];
+  EXPECT_NEAR(h.quantile(q), exact, exact * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramQuantileTest,
+                         ::testing::Values(0.01, 0.10, 0.25, 0.50, 0.75, 0.90,
+                                           0.99, 0.999));
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.add(10.0);
+  h.add(20.0);
+  h.add(30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SubUnitValuesClampToFirstBucket) {
+  Histogram h;
+  h.add(0.001);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(1.0), 1.1);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(10.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LT(a.quantile(0.25), 20.0);
+  EXPECT_GT(a.quantile(0.75), 900.0);
+}
+
+TEST(HistogramTest, AddCountWeightsValues) {
+  Histogram h;
+  h.add_count(5.0, 1000);
+  h.add_count(50.0, 1);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_LT(h.p50(), 6.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.add(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(RateMeterTest, BandwidthMath) {
+  RateMeter m;
+  m.add(1'000'000'000);  // 1 GB
+  // over 1 second (1e12 ps) -> 1 GB/s
+  EXPECT_DOUBLE_EQ(m.gbyte_per_sec(1'000'000'000'000ULL), 1.0);
+  EXPECT_EQ(m.bytes_per_sec(0), 0.0);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i + 10 + rng.uniform(-1, 1));
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 5.0, 0.05);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).r2, 0.0);
+  EXPECT_EQ(linear_fit({1.0}, {2.0}).r2, 0.0);
+  // Vertical data (all same x) cannot be fit.
+  EXPECT_EQ(linear_fit({3, 3, 3}, {1, 2, 3}).slope, 0.0);
+}
+
+}  // namespace
+}  // namespace tfsim::sim

@@ -1,0 +1,57 @@
+#include "sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfsim::sim {
+namespace {
+
+TEST(UnitsTest, TimeConversionsRoundTrip) {
+  EXPECT_EQ(from_ns(1.0), kNanosecond);
+  EXPECT_EQ(from_us(1.0), kMicrosecond);
+  EXPECT_EQ(from_ms(1.0), kMillisecond);
+  EXPECT_EQ(from_sec(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(to_ns(from_ns(123.5)), 123.5);
+  EXPECT_DOUBLE_EQ(to_us(from_us(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(to_ms(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_sec(kMillisecond), 1e-3);
+}
+
+TEST(UnitsTest, BandwidthConstructors) {
+  const auto hundred_gbit = Bandwidth::from_gbit(100.0);
+  EXPECT_DOUBLE_EQ(hundred_gbit.bytes_per_sec, 12.5e9);
+  EXPECT_DOUBLE_EQ(hundred_gbit.gbyte_per_sec(), 12.5);
+  EXPECT_DOUBLE_EQ(hundred_gbit.gbit_per_sec(), 100.0);
+  const auto from_gb = Bandwidth::from_gbyte(12.5);
+  EXPECT_DOUBLE_EQ(from_gb.bytes_per_sec, hundred_gbit.bytes_per_sec);
+}
+
+TEST(UnitsTest, SerializationTime) {
+  const Bandwidth one_gb{1e9};  // 1 ns per byte
+  EXPECT_EQ(one_gb.serialization_time(1000), from_ns(1000));
+  EXPECT_EQ(one_gb.serialization_time(0), 0u);
+  EXPECT_EQ(Bandwidth{0.0}.serialization_time(1), kTimeNever);
+}
+
+TEST(UnitsTest, ClockPeriod) {
+  EXPECT_EQ(clock_period(1e9), kNanosecond);          // 1 GHz
+  EXPECT_EQ(clock_period(320e6), 3125u);              // 3.125 ns in ps
+  EXPECT_EQ(clock_period(250e6), 4 * kNanosecond);
+}
+
+TEST(UnitsTest, SizeConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(UnitsTest, PicosecondResolutionCoversExperimentScales) {
+  // An FPGA cycle and a multi-minute run must both be representable.
+  const Time cycle = clock_period(320e6);
+  EXPECT_GT(cycle, 0u);
+  const Time ten_minutes = from_sec(600.0);
+  EXPECT_GT(ten_minutes, cycle);
+  EXPECT_LT(ten_minutes, kTimeNever);
+}
+
+}  // namespace
+}  // namespace tfsim::sim
