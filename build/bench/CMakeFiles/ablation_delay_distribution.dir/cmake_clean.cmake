@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_distribution.dir/ablation_delay_distribution.cpp.o"
+  "CMakeFiles/ablation_delay_distribution.dir/ablation_delay_distribution.cpp.o.d"
+  "ablation_delay_distribution"
+  "ablation_delay_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

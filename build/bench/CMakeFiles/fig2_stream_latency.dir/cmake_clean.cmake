@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stream_latency.dir/fig2_stream_latency.cpp.o"
+  "CMakeFiles/fig2_stream_latency.dir/fig2_stream_latency.cpp.o.d"
+  "fig2_stream_latency"
+  "fig2_stream_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stream_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stream_bandwidth.dir/fig3_stream_bandwidth.cpp.o"
+  "CMakeFiles/fig3_stream_bandwidth.dir/fig3_stream_bandwidth.cpp.o.d"
+  "fig3_stream_bandwidth"
+  "fig3_stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

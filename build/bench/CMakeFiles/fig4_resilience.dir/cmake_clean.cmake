@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_resilience.dir/fig4_resilience.cpp.o"
+  "CMakeFiles/fig4_resilience.dir/fig4_resilience.cpp.o.d"
+  "fig4_resilience"
+  "fig4_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

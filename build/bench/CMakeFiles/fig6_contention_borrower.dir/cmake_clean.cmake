@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_contention_borrower.dir/fig6_contention_borrower.cpp.o"
+  "CMakeFiles/fig6_contention_borrower.dir/fig6_contention_borrower.cpp.o.d"
+  "fig6_contention_borrower"
+  "fig6_contention_borrower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_contention_borrower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

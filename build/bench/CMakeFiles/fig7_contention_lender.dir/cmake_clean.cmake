@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_contention_lender.dir/fig7_contention_lender.cpp.o"
+  "CMakeFiles/fig7_contention_lender.dir/fig7_contention_lender.cpp.o.d"
+  "fig7_contention_lender"
+  "fig7_contention_lender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_contention_lender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

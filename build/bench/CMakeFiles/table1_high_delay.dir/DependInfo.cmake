@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_high_delay.cpp" "bench/CMakeFiles/table1_high_delay.dir/table1_high_delay.cpp.o" "gcc" "bench/CMakeFiles/table1_high_delay.dir/table1_high_delay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/tfsim_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tfsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tfsim_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/tfsim_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tfsim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_high_delay.dir/table1_high_delay.cpp.o"
+  "CMakeFiles/table1_high_delay.dir/table1_high_delay.cpp.o.d"
+  "table1_high_delay"
+  "table1_high_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_high_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_congestion.dir/validation_congestion.cpp.o"
+  "CMakeFiles/validation_congestion.dir/validation_congestion.cpp.o.d"
+  "validation_congestion"
+  "validation_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

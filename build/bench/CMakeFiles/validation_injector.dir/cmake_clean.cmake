@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_injector.dir/validation_injector.cpp.o"
+  "CMakeFiles/validation_injector.dir/validation_injector.cpp.o.d"
+  "validation_injector"
+  "validation_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

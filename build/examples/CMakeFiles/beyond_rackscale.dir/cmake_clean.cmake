@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_rackscale.dir/beyond_rackscale.cpp.o"
+  "CMakeFiles/beyond_rackscale.dir/beyond_rackscale.cpp.o.d"
+  "beyond_rackscale"
+  "beyond_rackscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_rackscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for beyond_rackscale.
+# This may be replaced when dependencies are built.

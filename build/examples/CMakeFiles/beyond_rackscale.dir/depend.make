@@ -1,0 +1,2 @@
+# Empty dependencies file for beyond_rackscale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_sweep.dir/delay_sweep.cpp.o"
+  "CMakeFiles/delay_sweep.dir/delay_sweep.cpp.o.d"
+  "delay_sweep"
+  "delay_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_allocation.dir/qos_allocation.cpp.o"
+  "CMakeFiles/qos_allocation.dir/qos_allocation.cpp.o.d"
+  "qos_allocation"
+  "qos_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_probe.dir/resilience_probe.cpp.o"
+  "CMakeFiles/resilience_probe.dir/resilience_probe.cpp.o.d"
+  "resilience_probe"
+  "resilience_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

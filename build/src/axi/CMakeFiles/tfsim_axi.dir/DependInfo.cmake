@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/endpoints.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/endpoints.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/endpoints.cpp.o.d"
+  "/root/repo/src/axi/fifo.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/fifo.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/fifo.cpp.o.d"
+  "/root/repo/src/axi/module.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/module.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/module.cpp.o.d"
+  "/root/repo/src/axi/monitor.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/monitor.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/monitor.cpp.o.d"
+  "/root/repo/src/axi/mux.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/mux.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/mux.cpp.o.d"
+  "/root/repo/src/axi/rate_gate.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/rate_gate.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/rate_gate.cpp.o.d"
+  "/root/repo/src/axi/router.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/router.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/router.cpp.o.d"
+  "/root/repo/src/axi/testbench.cpp" "src/axi/CMakeFiles/tfsim_axi.dir/testbench.cpp.o" "gcc" "src/axi/CMakeFiles/tfsim_axi.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_axi.dir/endpoints.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/endpoints.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/fifo.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/fifo.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/module.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/module.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/monitor.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/monitor.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/mux.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/mux.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/rate_gate.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/rate_gate.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/router.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/router.cpp.o.d"
+  "CMakeFiles/tfsim_axi.dir/testbench.cpp.o"
+  "CMakeFiles/tfsim_axi.dir/testbench.cpp.o.d"
+  "libtfsim_axi.a"
+  "libtfsim_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfsim_axi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capi/frame.cpp" "src/capi/CMakeFiles/tfsim_capi.dir/frame.cpp.o" "gcc" "src/capi/CMakeFiles/tfsim_capi.dir/frame.cpp.o.d"
+  "/root/repo/src/capi/opcodes.cpp" "src/capi/CMakeFiles/tfsim_capi.dir/opcodes.cpp.o" "gcc" "src/capi/CMakeFiles/tfsim_capi.dir/opcodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

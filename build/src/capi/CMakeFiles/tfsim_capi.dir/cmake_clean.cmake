@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_capi.dir/frame.cpp.o"
+  "CMakeFiles/tfsim_capi.dir/frame.cpp.o.d"
+  "CMakeFiles/tfsim_capi.dir/opcodes.cpp.o"
+  "CMakeFiles/tfsim_capi.dir/opcodes.cpp.o.d"
+  "libtfsim_capi.a"
+  "libtfsim_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_core.dir/report.cpp.o"
+  "CMakeFiles/tfsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/tfsim_core.dir/resilience.cpp.o"
+  "CMakeFiles/tfsim_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/tfsim_core.dir/session.cpp.o"
+  "CMakeFiles/tfsim_core.dir/session.cpp.o.d"
+  "libtfsim_core.a"
+  "libtfsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/control_plane.cpp" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/control_plane.cpp.o" "gcc" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/control_plane.cpp.o.d"
+  "/root/repo/src/ctrl/policy.cpp" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/policy.cpp.o" "gcc" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/policy.cpp.o.d"
+  "/root/repo/src/ctrl/registry.cpp" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/registry.cpp.o" "gcc" "src/ctrl/CMakeFiles/tfsim_ctrl.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tfsim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_ctrl.dir/control_plane.cpp.o"
+  "CMakeFiles/tfsim_ctrl.dir/control_plane.cpp.o.d"
+  "CMakeFiles/tfsim_ctrl.dir/policy.cpp.o"
+  "CMakeFiles/tfsim_ctrl.dir/policy.cpp.o.d"
+  "CMakeFiles/tfsim_ctrl.dir/registry.cpp.o"
+  "CMakeFiles/tfsim_ctrl.dir/registry.cpp.o.d"
+  "libtfsim_ctrl.a"
+  "libtfsim_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

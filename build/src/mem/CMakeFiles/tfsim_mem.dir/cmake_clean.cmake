@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_mem.dir/address.cpp.o"
+  "CMakeFiles/tfsim_mem.dir/address.cpp.o.d"
+  "CMakeFiles/tfsim_mem.dir/cache.cpp.o"
+  "CMakeFiles/tfsim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/tfsim_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/tfsim_mem.dir/hierarchy.cpp.o.d"
+  "libtfsim_mem.a"
+  "libtfsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_net.dir/latency_dist.cpp.o"
+  "CMakeFiles/tfsim_net.dir/latency_dist.cpp.o.d"
+  "CMakeFiles/tfsim_net.dir/network.cpp.o"
+  "CMakeFiles/tfsim_net.dir/network.cpp.o.d"
+  "CMakeFiles/tfsim_net.dir/packet.cpp.o"
+  "CMakeFiles/tfsim_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tfsim_net.dir/topology.cpp.o"
+  "CMakeFiles/tfsim_net.dir/topology.cpp.o.d"
+  "libtfsim_net.a"
+  "libtfsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/injector.cpp" "src/nic/CMakeFiles/tfsim_nic.dir/injector.cpp.o" "gcc" "src/nic/CMakeFiles/tfsim_nic.dir/injector.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/nic/CMakeFiles/tfsim_nic.dir/nic.cpp.o" "gcc" "src/nic/CMakeFiles/tfsim_nic.dir/nic.cpp.o.d"
+  "/root/repo/src/nic/translator.cpp" "src/nic/CMakeFiles/tfsim_nic.dir/translator.cpp.o" "gcc" "src/nic/CMakeFiles/tfsim_nic.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_nic.dir/injector.cpp.o"
+  "CMakeFiles/tfsim_nic.dir/injector.cpp.o.d"
+  "CMakeFiles/tfsim_nic.dir/nic.cpp.o"
+  "CMakeFiles/tfsim_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/tfsim_nic.dir/translator.cpp.o"
+  "CMakeFiles/tfsim_nic.dir/translator.cpp.o.d"
+  "libtfsim_nic.a"
+  "libtfsim_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

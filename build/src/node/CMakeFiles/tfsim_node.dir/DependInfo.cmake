@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/context.cpp" "src/node/CMakeFiles/tfsim_node.dir/context.cpp.o" "gcc" "src/node/CMakeFiles/tfsim_node.dir/context.cpp.o.d"
+  "/root/repo/src/node/migration.cpp" "src/node/CMakeFiles/tfsim_node.dir/migration.cpp.o" "gcc" "src/node/CMakeFiles/tfsim_node.dir/migration.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/node/CMakeFiles/tfsim_node.dir/node.cpp.o" "gcc" "src/node/CMakeFiles/tfsim_node.dir/node.cpp.o.d"
+  "/root/repo/src/node/testbed.cpp" "src/node/CMakeFiles/tfsim_node.dir/testbed.cpp.o" "gcc" "src/node/CMakeFiles/tfsim_node.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tfsim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/tfsim_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_node.dir/context.cpp.o"
+  "CMakeFiles/tfsim_node.dir/context.cpp.o.d"
+  "CMakeFiles/tfsim_node.dir/migration.cpp.o"
+  "CMakeFiles/tfsim_node.dir/migration.cpp.o.d"
+  "CMakeFiles/tfsim_node.dir/node.cpp.o"
+  "CMakeFiles/tfsim_node.dir/node.cpp.o.d"
+  "CMakeFiles/tfsim_node.dir/testbed.cpp.o"
+  "CMakeFiles/tfsim_node.dir/testbed.cpp.o.d"
+  "libtfsim_node.a"
+  "libtfsim_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_sim.dir/config.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/config.cpp.o.d"
+  "CMakeFiles/tfsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tfsim_sim.dir/log.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/log.cpp.o.d"
+  "CMakeFiles/tfsim_sim.dir/rng.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/tfsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tfsim_sim.dir/trace.cpp.o"
+  "CMakeFiles/tfsim_sim.dir/trace.cpp.o.d"
+  "libtfsim_sim.a"
+  "libtfsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfsim_sim.a"
+)

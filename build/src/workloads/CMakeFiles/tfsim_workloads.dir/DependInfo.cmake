@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph500/csr.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/csr.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/csr.cpp.o.d"
+  "/root/repo/src/workloads/graph500/graph500.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/graph500.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/graph500.cpp.o.d"
+  "/root/repo/src/workloads/graph500/kronecker.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/kronecker.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/graph500/kronecker.cpp.o.d"
+  "/root/repo/src/workloads/kvstore/kvstore.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/kvstore.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/kvstore.cpp.o.d"
+  "/root/repo/src/workloads/kvstore/memtier.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/memtier.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/memtier.cpp.o.d"
+  "/root/repo/src/workloads/kvstore/resp.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/resp.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/kvstore/resp.cpp.o.d"
+  "/root/repo/src/workloads/replay/trace.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/replay/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/replay/trace.cpp.o.d"
+  "/root/repo/src/workloads/stream/stream.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/stream/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/stream/stream.cpp.o.d"
+  "/root/repo/src/workloads/stream/stream_flow.cpp" "src/workloads/CMakeFiles/tfsim_workloads.dir/stream/stream_flow.cpp.o" "gcc" "src/workloads/CMakeFiles/tfsim_workloads.dir/stream/stream_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tfsim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tfsim_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/tfsim_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfsim_workloads.dir/graph500/csr.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/graph500/csr.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/graph500/graph500.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/graph500/graph500.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/graph500/kronecker.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/graph500/kronecker.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/kvstore.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/kvstore.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/memtier.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/memtier.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/resp.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/kvstore/resp.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/replay/trace.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/replay/trace.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/stream/stream.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/stream/stream.cpp.o.d"
+  "CMakeFiles/tfsim_workloads.dir/stream/stream_flow.cpp.o"
+  "CMakeFiles/tfsim_workloads.dir/stream/stream_flow.cpp.o.d"
+  "libtfsim_workloads.a"
+  "libtfsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

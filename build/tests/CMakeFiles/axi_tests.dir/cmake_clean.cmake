@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axi_tests.dir/axi/pipeline_test.cpp.o"
+  "CMakeFiles/axi_tests.dir/axi/pipeline_test.cpp.o.d"
+  "CMakeFiles/axi_tests.dir/axi/rate_gate_test.cpp.o"
+  "CMakeFiles/axi_tests.dir/axi/rate_gate_test.cpp.o.d"
+  "axi_tests"
+  "axi_tests.pdb"
+  "axi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capi_tests.dir/capi/capi_test.cpp.o"
+  "CMakeFiles/capi_tests.dir/capi/capi_test.cpp.o.d"
+  "capi_tests"
+  "capi_tests.pdb"
+  "capi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_tests.dir/ctrl/ctrl_test.cpp.o"
+  "CMakeFiles/ctrl_tests.dir/ctrl/ctrl_test.cpp.o.d"
+  "ctrl_tests"
+  "ctrl_tests.pdb"
+  "ctrl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

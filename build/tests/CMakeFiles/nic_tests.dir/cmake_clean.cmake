@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_tests.dir/nic/nic_test.cpp.o"
+  "CMakeFiles/nic_tests.dir/nic/nic_test.cpp.o.d"
+  "nic_tests"
+  "nic_tests.pdb"
+  "nic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

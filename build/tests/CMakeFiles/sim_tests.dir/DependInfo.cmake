@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/config_trace_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/config_trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/config_trace_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/log_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/log_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/log_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/server_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/server_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/server_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/sim/task_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/task_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/task_test.cpp.o.d"
+  "/root/repo/tests/sim/units_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/units_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axi/CMakeFiles/tfsim_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tfsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tfsim_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/tfsim_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tfsim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/tfsim_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/config_trace_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/config_trace_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/log_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/log_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/server_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/server_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/task_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/task_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/units_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/units_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/graph500_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/graph500_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/kvstore_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/kvstore_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/replay_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/replay_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/sim_array_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/sim_array_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/stream_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/stream_test.cpp.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

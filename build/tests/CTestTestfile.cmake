@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/axi_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/capi_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/nic_tests[1]_include.cmake")
+include("/root/repo/build/tests/ctrl_tests[1]_include.cmake")
+include("/root/repo/build/tests/node_tests[1]_include.cmake")
+include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/extensions_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
