@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "axi/checker.hpp"
 #include "axi/endpoints.hpp"
 #include "axi/monitor.hpp"
 #include "axi/mux.hpp"
@@ -18,6 +19,7 @@
 #include "axi/router.hpp"
 #include "axi/testbench.hpp"
 #include "bench_common.hpp"
+#include "core/protocol_report.hpp"
 #include "core/report.hpp"
 #include "nic/injector.hpp"
 
@@ -42,8 +44,11 @@ Row run_one(std::uint64_t period) {
   Row row{};
   row.period = period;
 
-  // Cycle-level pipeline.
-  axi::Testbench tb;
+  // Cycle-level pipeline, audited by the protocol-assertion layer: wire
+  // checkers are bound to every wire and the gate/router/mux self-check
+  // conservation.  Collect mode so a violation shows up in the table
+  // instead of aborting the whole validation run.
+  axi::Testbench tb(axi::CheckMode::kCollect);
   auto& w_src = tb.wire("src->router");
   auto& w_gate_in = tb.wire("router->gate");
   auto& w_gate_out = tb.wire("gate->mux");
@@ -56,12 +61,21 @@ Row run_one(std::uint64_t period) {
   tb.add<axi::RoundRobinMux>("mux", std::vector<axi::Wire*>{&w_gate_out}, w_sink);
   auto& sink = tb.add<axi::Sink>("sink", w_sink);
   auto& mon = tb.add<axi::Monitor>("monitor", w_sink, /*check_id_order=*/true);
+  auto& flow = tb.watch_flow("egress-conservation", {&w_src}, {&w_sink});
   tb.run(kCycles);
+  tb.finish_checks();
 
   row.rtl_throughput =
       static_cast<double>(sink.received()) / static_cast<double>(kCycles);
   row.rtl_mean_gap = mon.gap_stats().mean();
-  row.protocol_clean = mon.clean();
+  row.protocol_clean =
+      mon.clean() && tb.sink().clean() && flow.entered() == flow.exited();
+  if (!tb.sink().clean()) {
+    core::violation_table("AXI protocol violations (PERIOD=" +
+                              std::to_string(period) + ")",
+                          tb.sink().violations())
+        .print();
+  }
 
   // Event-level twin: back-to-back admissions for the same wall-clock span.
   nic::DelayInjector injector(kClockHz, period);

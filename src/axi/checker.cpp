@@ -1,0 +1,211 @@
+#include "axi/checker.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace tfsim::axi {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kValidRetracted:
+      return "VALID_RETRACTED";
+    case ViolationKind::kPayloadMutated:
+      return "PAYLOAD_MUTATED";
+    case ViolationKind::kBeatDropped:
+      return "BEAT_DROPPED";
+    case ViolationKind::kBeatDuplicated:
+      return "BEAT_DUPLICATED";
+    case ViolationKind::kBeatCorrupted:
+      return "BEAT_CORRUPTED";
+    case ViolationKind::kBeatReordered:
+      return "BEAT_REORDERED";
+    case ViolationKind::kTdestChangedMidPacket:
+      return "TDEST_CHANGED_MID_PACKET";
+    case ViolationKind::kPacketUnterminated:
+      return "PACKET_UNTERMINATED";
+    case ViolationKind::kMisroute:
+      return "MISROUTE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "AXI protocol violation [" << axi::to_string(kind) << "] at cycle "
+     << cycle << " on " << where << ": " << detail;
+  return os.str();
+}
+
+void ViolationSink::report(Violation v) {
+  if (mode_ == CheckMode::kOff) return;
+  TFSIM_LOG(Error) << v.to_string();
+  ++total_;
+  if (violations_.size() < kMaxStored) violations_.push_back(v);
+  if (mode_ == CheckMode::kStrict) throw ProtocolError(v);
+}
+
+std::uint64_t ViolationSink::count(ViolationKind kind) const {
+  std::uint64_t n = 0;
+  for (const auto& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+void ViolationSink::clear() {
+  violations_.clear();
+  total_ = 0;
+}
+
+namespace {
+
+std::string beat_repr(const Beat& b) {
+  std::ostringstream os;
+  os << "{id=" << b.id << " dest=" << b.dest << " user=" << b.user
+     << " last=" << (b.last ? 1 : 0) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+WireChecker::WireChecker(std::string name, Wire& wire, ViolationSink& sink)
+    : Module(std::move(name)), wire_(wire), sink_(sink) {}
+
+void WireChecker::report(ViolationKind kind, std::uint64_t cycle,
+                         std::string detail) {
+  sink_.report(Violation{kind, wire_.label.empty() ? name() : wire_.label,
+                         cycle, std::move(detail)});
+}
+
+void WireChecker::tick(std::uint64_t cycle) {
+  // A3.2.1: once VALID is asserted it must remain asserted, and A3.2.2: the
+  // payload must remain stable, until the handshake completes.
+  if (prev_offered_) {
+    if (!wire_.valid()) {
+      report(ViolationKind::kValidRetracted, cycle,
+             "VALID deasserted while beat " + beat_repr(prev_beat_) +
+                 " awaited READY");
+    } else if (!(wire_.beat() == prev_beat_)) {
+      report(ViolationKind::kPayloadMutated, cycle,
+             "beat changed from " + beat_repr(prev_beat_) + " to " +
+                 beat_repr(wire_.beat()) + " while awaiting READY");
+    }
+  }
+  if (wire_.fire()) {
+    ++beats_;
+    const Beat& b = wire_.beat();
+    // TLAST framing: TDEST must be constant between the first beat of a
+    // packet and its TLAST beat (a stream routed mid-packet would tear the
+    // packet apart downstream).
+    if (in_packet_ && b.dest != packet_dest_) {
+      std::ostringstream os;
+      os << "TDEST moved from " << packet_dest_ << " to " << b.dest
+         << " inside a packet";
+      report(ViolationKind::kTdestChangedMidPacket, cycle, os.str());
+      packet_dest_ = b.dest;  // resynchronize; report once per change
+    }
+    if (b.last) {
+      in_packet_ = false;
+    } else if (!in_packet_) {
+      in_packet_ = true;
+      packet_dest_ = b.dest;
+    }
+  }
+  prev_offered_ = wire_.valid() && !wire_.ready();
+  if (prev_offered_) prev_beat_ = wire_.beat();
+}
+
+void WireChecker::finish(std::uint64_t cycle) {
+  if (in_packet_) {
+    std::ostringstream os;
+    os << "stream ended inside an open packet (TDEST " << packet_dest_
+       << " never saw TLAST)";
+    report(ViolationKind::kPacketUnterminated, cycle, os.str());
+    in_packet_ = false;
+  }
+}
+
+FlowChecker::FlowChecker(std::string name, std::vector<const Wire*> entries,
+                         std::vector<const Wire*> exits, ViolationSink& sink)
+    : Module(std::move(name)),
+      entries_(std::move(entries)),
+      exits_(std::move(exits)),
+      sink_(sink) {}
+
+void FlowChecker::tick(std::uint64_t cycle) {
+  // Entries first: a purely combinational region fires entry and exit in
+  // the same cycle, and the entry beat must be bookable before the exit
+  // beat is matched against it.
+  for (const Wire* w : entries_) {
+    if (!w->fire()) continue;
+    pending_[w->beat().dest].push_back(w->beat());
+    ++entered_;
+  }
+  for (const Wire* w : exits_) {
+    if (!w->fire()) continue;
+    ++exited_;
+    const Beat& b = w->beat();
+    auto it = pending_.find(b.dest);
+    if (it == pending_.end() || it->second.empty()) {
+      sink_.report(Violation{ViolationKind::kBeatDuplicated, name(), cycle,
+                             "beat " + beat_repr(b) +
+                                 " exited with no matching entry"});
+      continue;
+    }
+    std::deque<Beat>& q = it->second;
+    if (q.front() == b) {
+      q.pop_front();
+      continue;
+    }
+    // Not the oldest in-flight beat for this TDEST: either the region
+    // reordered the stream (beat found deeper in the queue) or it corrupted
+    // a payload (no byte-exact match at all).
+    bool found = false;
+    for (auto qi = q.begin(); qi != q.end(); ++qi) {
+      if (*qi == b) {
+        sink_.report(Violation{
+            ViolationKind::kBeatReordered, name(), cycle,
+            "beat " + beat_repr(b) + " overtook " + beat_repr(q.front()) +
+                " within TDEST " + std::to_string(b.dest)});
+        q.erase(qi);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      sink_.report(Violation{ViolationKind::kBeatCorrupted, name(), cycle,
+                             "beat " + beat_repr(b) +
+                                 " exited but the oldest in-flight beat is " +
+                                 beat_repr(q.front())});
+      q.pop_front();  // consume the mismatched entry to stay in sync
+    }
+  }
+}
+
+void FlowChecker::finish(std::uint64_t cycle) {
+  if (in_flight() > allowed_in_flight_) {
+    std::ostringstream os;
+    os << in_flight() << " beat(s) entered but never exited ("
+       << allowed_in_flight_ << " may legitimately remain buffered)";
+    // Name the stranded beat with the lowest TDEST (deterministic choice:
+    // unordered_map iteration order must not leak into reports).
+    const std::deque<Beat>* stranded = nullptr;
+    std::uint32_t stranded_dest = 0;
+    for (const auto& [dest, q] : pending_) {
+      if (q.empty()) continue;
+      if (stranded == nullptr || dest < stranded_dest) {
+        stranded = &q;
+        stranded_dest = dest;
+      }
+    }
+    if (stranded != nullptr) {
+      os << "; oldest stranded beat: " << beat_repr(stranded->front());
+    }
+    sink_.report(
+        Violation{ViolationKind::kBeatDropped, name(), cycle, os.str()});
+  }
+}
+
+}  // namespace tfsim::axi

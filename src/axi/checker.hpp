@@ -1,0 +1,172 @@
+// AXI4-Stream protocol-assertion layer.
+//
+// The software equivalent of the SystemVerilog assertions a hardware team
+// would bind to every AXI4-Stream interface.  Three pieces:
+//
+//  * Violation / ViolationSink -- a structured violation record and a
+//    central collector with two modes: Strict (throw ProtocolError, the
+//    simulation analogue of an assertion abort) and Collect (accumulate for
+//    tests that inject bugs on purpose).  Every report is also mirrored to
+//    the sim/log error channel.
+//  * WireChecker -- per-wire handshake assertions, one instance bound to
+//    every Wire a Testbench creates: VALID may not be retracted before the
+//    beat fires (A3.2.1 of the AMBA 4 Stream spec), the payload must be
+//    stable while VALID is high and READY is low (A3.2.2), and TLAST
+//    framing must be well-formed (TDEST constant within a packet, no packet
+//    left open at end of test).
+//  * FlowChecker -- a conservation scoreboard across a module or pipeline
+//    region: every beat that enters must leave exactly once, unmodified, in
+//    per-TDEST order.  Catches drops, duplicates, corruption, and
+//    reordering that per-wire checks cannot see.
+//
+// RateGate, Router, and RoundRobinMux additionally self-check cycle-exact
+// conservation through the ViolationSink a Testbench attaches to every
+// module (see Module::attach_sink), so the paper's delay injector is
+// continuously audited for the Eq. 1 contract: gating READY must delay
+// beats, never drop, duplicate, or corrupt them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+/// Classes of AXI4-Stream contract violations the checkers detect.
+enum class ViolationKind {
+  kValidRetracted,    ///< VALID deasserted before READY completed the beat
+  kPayloadMutated,    ///< TDATA/TDEST/TUSER/TLAST changed while stalled
+  kBeatDropped,       ///< a beat entered a region and never left
+  kBeatDuplicated,    ///< a beat left a region more often than it entered
+  kBeatCorrupted,     ///< a beat left a region with a different payload
+  kBeatReordered,     ///< per-TDEST order not preserved across a region
+  kTdestChangedMidPacket,  ///< TDEST moved between beats of one packet
+  kPacketUnterminated,     ///< stream ended inside a TLAST=0 packet
+  kMisroute,          ///< beat carried a TDEST no output exists for
+};
+
+const char* to_string(ViolationKind kind);
+
+/// One detected violation, in the shape sim/log and core/report consume.
+struct Violation {
+  ViolationKind kind = ViolationKind::kValidRetracted;
+  std::string where;        ///< wire label or module name
+  std::uint64_t cycle = 0;  ///< testbench cycle at detection
+  std::string detail;       ///< human-readable specifics
+
+  std::string to_string() const;
+};
+
+/// Thrown by ViolationSink in strict mode: the software analogue of a
+/// SystemVerilog assertion failure aborting the simulation.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const Violation& v)
+      : std::runtime_error(v.to_string()), violation_(v) {}
+  const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+/// Checker reporting policy.
+enum class CheckMode {
+  kOff,      ///< checks disabled (reports discarded)
+  kCollect,  ///< record violations; tests inspect them afterwards
+  kStrict,   ///< throw ProtocolError on the first violation
+};
+
+/// Central violation collector.  One per Testbench; shared by every
+/// WireChecker, FlowChecker, and self-checking module.
+class ViolationSink {
+ public:
+  void set_mode(CheckMode mode) { mode_ = mode; }
+  CheckMode mode() const { return mode_; }
+
+  /// Record (and log) a violation.  Throws ProtocolError in strict mode;
+  /// discards in off mode.
+  void report(Violation v);
+
+  bool clean() const { return total_ == 0; }
+  /// Total violations reported (including any beyond the storage cap).
+  std::uint64_t total() const { return total_; }
+  /// Stored violations (capped at kMaxStored to bound memory in
+  /// pathological runs).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t count(ViolationKind kind) const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kMaxStored = 256;
+  CheckMode mode_ = CheckMode::kStrict;
+  std::vector<Violation> violations_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-wire handshake assertions; bound automatically to every wire a
+/// Testbench creates.  Ticks like any module but drives nothing, so it has
+/// no effect on combinational convergence.
+class WireChecker final : public Module {
+ public:
+  WireChecker(std::string name, Wire& wire, ViolationSink& sink);
+
+  void tick(std::uint64_t cycle) override;
+  /// End-of-test framing assertion: a packet opened with TLAST=0 must have
+  /// been closed.  Called by Testbench::finish_checks().
+  void finish(std::uint64_t cycle);
+
+  std::uint64_t beats() const { return beats_; }
+
+ private:
+  void report(ViolationKind kind, std::uint64_t cycle, std::string detail);
+
+  Wire& wire_;
+  ViolationSink& sink_;
+  bool prev_offered_ = false;  ///< VALID && !READY at the previous edge
+  Beat prev_beat_{};
+  bool in_packet_ = false;  ///< saw TLAST=0, waiting for TLAST=1
+  std::uint32_t packet_dest_ = 0;
+  std::uint64_t beats_ = 0;
+};
+
+/// Conservation scoreboard across a region with N entry wires and M exit
+/// wires: beats-in == beats-out, payloads unmodified, per-TDEST FIFO order.
+/// Attach around a single module (RateGate in/out) or a whole pipeline
+/// (source wire vs sink wire).
+class FlowChecker final : public Module {
+ public:
+  FlowChecker(std::string name, std::vector<const Wire*> entries,
+              std::vector<const Wire*> exits, ViolationSink& sink);
+
+  void tick(std::uint64_t cycle) override;
+  /// End-of-test conservation assertion: at most `allowed_in_flight` beats
+  /// may remain buffered inside the region (e.g. FIFO capacity); anything
+  /// beyond that was dropped.  Called by Testbench::finish_checks() with
+  /// the slack registered at construction time.
+  void finish(std::uint64_t cycle);
+
+  /// Beats the region may legitimately hold at end of test (sum of internal
+  /// buffer capacities).  Default 0: purely combinational regions.
+  void set_allowed_in_flight(std::uint64_t n) { allowed_in_flight_ = n; }
+
+  std::uint64_t entered() const { return entered_; }
+  std::uint64_t exited() const { return exited_; }
+  std::uint64_t in_flight() const { return entered_ - exited_; }
+
+ private:
+  std::vector<const Wire*> entries_;
+  std::vector<const Wire*> exits_;
+  ViolationSink& sink_;
+  std::unordered_map<std::uint32_t, std::deque<Beat>> pending_;  // per TDEST
+  std::uint64_t entered_ = 0;
+  std::uint64_t exited_ = 0;
+  std::uint64_t allowed_in_flight_ = 0;
+};
+
+}  // namespace tfsim::axi

@@ -1,7 +1,15 @@
 #include "axi/module.hpp"
 
+#include "axi/checker.hpp"
+
 namespace tfsim::axi {
 
 Module::~Module() = default;
+
+void Module::report_violation(ViolationKind kind, std::uint64_t cycle,
+                              const std::string& detail) const {
+  if (sink_ == nullptr) return;
+  sink_->report(Violation{kind, name(), cycle, detail});
+}
 
 }  // namespace tfsim::axi

@@ -6,6 +6,9 @@
 
 namespace tfsim::axi {
 
+class ViolationSink;  // checker.hpp
+enum class ViolationKind;
+
 /// A clocked hardware block.  Each simulated cycle the testbench:
 ///   1. calls eval() on all modules repeatedly until no wire changes
 ///      (combinational settle), then
@@ -27,8 +30,22 @@ class Module {
 
   const std::string& name() const { return name_; }
 
+  /// Attach the testbench's violation sink.  Self-checking modules
+  /// (RateGate, Router, RoundRobinMux) report protocol violations into it;
+  /// modules without self-checks ignore it.  Done automatically by
+  /// Testbench::add().
+  void attach_sink(ViolationSink* sink) { sink_ = sink; }
+
+ protected:
+  ViolationSink* sink() const { return sink_; }
+  /// Report a violation into the attached sink (no-op when detached).
+  /// Defined in module.cpp to keep checker.hpp out of this header.
+  void report_violation(ViolationKind kind, std::uint64_t cycle,
+                        const std::string& detail) const;
+
  private:
   std::string name_;
+  ViolationSink* sink_ = nullptr;
 };
 
 }  // namespace tfsim::axi

@@ -1,6 +1,9 @@
 #include "axi/mux.hpp"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "axi/checker.hpp"
 
 namespace tfsim::axi {
 
@@ -24,28 +27,64 @@ std::size_t RoundRobinMux::pick() const {
   return n;  // none valid
 }
 
+std::size_t RoundRobinMux::grant() const {
+  // Lock the grant while a downstream offer is outstanding: AXI forbids
+  // changing the payload under a stalled VALID, so a newly-valid input must
+  // not steal the slot mid-offer.  (If the held input retracted VALID --
+  // itself a protocol violation, caught by its WireChecker -- fall back to
+  // a fresh pick rather than wedging the output.)
+  if (offering_ && held_ < inputs_.size() && inputs_[held_]->valid()) {
+    return held_;
+  }
+  return pick();
+}
+
 void RoundRobinMux::eval() {
   const std::size_t n = inputs_.size();
-  const std::size_t grant = pick();
+  const std::size_t g = grant();
   for (std::size_t i = 0; i < n; ++i) {
-    inputs_[i]->set_ready(i == grant && out_.ready());
+    inputs_[i]->set_ready(i == g && out_.ready());
   }
-  if (grant < n) {
+  if (g < n) {
     out_.set_valid(true);
-    out_.set_beat(inputs_[grant]->beat());
+    out_.set_beat(inputs_[g]->beat());
   } else {
     out_.set_valid(false);
   }
 }
 
-void RoundRobinMux::tick(std::uint64_t /*cycle*/) {
-  const std::size_t grant = pick();
-  if (grant < inputs_.size() && inputs_[grant]->fire()) {
-    ++transfers_[grant];
+void RoundRobinMux::tick(std::uint64_t cycle) {
+  const std::size_t n = inputs_.size();
+  const std::size_t g = grant();
+  // Conservation self-check: the output may fire only together with the
+  // granted input, carrying its exact beat; a non-granted input must never
+  // fire (its READY is held low).
+  if (sink() != nullptr) {
+    if (out_.fire() && (g >= n || !inputs_[g]->fire())) {
+      report_violation(ViolationKind::kBeatDuplicated, cycle,
+                       "output fired without the granted input firing");
+    } else if (out_.fire() && !(out_.beat() == inputs_[g]->beat())) {
+      report_violation(ViolationKind::kBeatCorrupted, cycle,
+                       "output beat differs from the granted input's beat");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inputs_[i]->fire() && !(i == g && out_.fire())) {
+        std::ostringstream os;
+        os << "input " << i << " fired without the output taking its beat";
+        report_violation(ViolationKind::kBeatDropped, cycle, os.str());
+      }
+    }
+  }
+  if (g < n && inputs_[g]->fire()) {
+    ++transfers_[g];
     // Rotate past the granted input so a saturating producer cannot starve
     // the others.
-    rr_ = (grant + 1) % inputs_.size();
+    rr_ = (g + 1) % n;
   }
+  // Track whether this cycle's offer went un-accepted; if so the grant is
+  // locked until the handshake completes.
+  offering_ = out_.valid() && !out_.ready();
+  held_ = g;
 }
 
 }  // namespace tfsim::axi

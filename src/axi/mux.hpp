@@ -24,12 +24,18 @@ class RoundRobinMux final : public Module {
   std::uint64_t transfers(std::size_t i) const { return transfers_.at(i); }
 
  private:
-  /// Current grant: first valid input at or after rr_, if any.
+  /// First valid input at or after rr_, if any.
   std::size_t pick() const;
+  /// The input driving the output this cycle: while an offer made earlier is
+  /// still un-accepted the original grant is held (switching would rewrite
+  /// the stalled beat, violating AXI payload stability); otherwise pick().
+  std::size_t grant() const;
 
   std::vector<Wire*> inputs_;
   Wire& out_;
   std::size_t rr_ = 0;  ///< next input to consider (rotates after a grant)
+  bool offering_ = false;  ///< un-accepted downstream offer outstanding
+  std::size_t held_ = 0;   ///< grant locked while offering_
   std::vector<std::uint64_t> transfers_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "axi/checker.hpp"
+
 namespace tfsim::axi {
 
 RateGate::RateGate(std::string name, Wire& in, Wire& out, std::uint64_t period)
@@ -34,7 +36,25 @@ void RateGate::eval() {
   in_.set_ready(out_.ready() && open);
 }
 
-void RateGate::tick(std::uint64_t /*cycle*/) {
+void RateGate::tick(std::uint64_t cycle) {
+  // Conservation self-check: the gate is combinational, so the upstream and
+  // downstream handshakes must complete in the same cycle with the same
+  // payload.  READY gating may only delay a beat -- never invent, swallow,
+  // or rewrite one.
+  if (sink() != nullptr) {
+    const bool in_fire = in_.fire();
+    const bool out_fire = out_.fire();
+    if (out_fire && !in_fire) {
+      report_violation(ViolationKind::kBeatDuplicated, cycle,
+                       "downstream handshake fired without an upstream beat");
+    } else if (in_fire && !out_fire) {
+      report_violation(ViolationKind::kBeatDropped, cycle,
+                       "upstream beat accepted but not offered downstream");
+    } else if (in_fire && out_fire && !(in_.beat() == out_.beat())) {
+      report_violation(ViolationKind::kBeatCorrupted, cycle,
+                       "beat payload rewritten while crossing the gate");
+    }
+  }
   if (in_.fire()) ++transfers_;
   if (in_.valid() && !in_.ready()) ++stalled_cycles_;
   // Hold an un-accepted downstream offer across window closure.

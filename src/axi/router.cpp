@@ -1,6 +1,9 @@
 #include "axi/router.hpp"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "axi/checker.hpp"
 
 namespace tfsim::axi {
 
@@ -26,18 +29,46 @@ void Router::eval() {
     in_.set_ready(outputs_[dest]->ready());
   } else {
     // Out-of-range dest: swallow the beat so the pipeline does not deadlock;
-    // counted as a misroute.
+    // counted as a misroute and reported as a protocol violation.
     in_.set_ready(in_.valid());
   }
 }
 
-void Router::tick(std::uint64_t /*cycle*/) {
+void Router::tick(std::uint64_t cycle) {
+  // Conservation self-check: an accepted in-range beat must fire on exactly
+  // the selected output, unmodified, in the same cycle; no output may fire
+  // without the input firing for it.
+  if (sink() != nullptr) {
+    const std::uint32_t dest = in_.beat().dest;
+    const bool in_fire = in_.fire();
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      const bool should_fire = in_fire && dest == i;
+      if (outputs_[i]->fire() && !should_fire) {
+        std::ostringstream os;
+        os << "output " << i << " fired without a matching input beat";
+        report_violation(ViolationKind::kBeatDuplicated, cycle, os.str());
+      } else if (should_fire && !outputs_[i]->fire()) {
+        std::ostringstream os;
+        os << "input beat accepted but output " << i << " did not fire";
+        report_violation(ViolationKind::kBeatDropped, cycle, os.str());
+      } else if (should_fire && outputs_[i]->fire() &&
+                 !(outputs_[i]->beat() == in_.beat())) {
+        std::ostringstream os;
+        os << "beat payload rewritten on the way to output " << i;
+        report_violation(ViolationKind::kBeatCorrupted, cycle, os.str());
+      }
+    }
+  }
   if (!in_.fire()) return;
   const std::uint32_t dest = in_.beat().dest;
   if (dest < outputs_.size()) {
     ++transfers_[dest];
   } else {
     ++misroutes_;
+    std::ostringstream os;
+    os << "beat id=" << in_.beat().id << " carried TDEST " << dest
+       << " but only " << outputs_.size() << " output(s) exist; beat dropped";
+    report_violation(ViolationKind::kMisroute, cycle, os.str());
   }
 }
 

@@ -8,7 +8,20 @@ Wire& Testbench::wire(std::string label) {
   w->attach_dirty_flag(&dirty_);
   Wire& ref = *w;
   wires_.push_back(std::move(w));
+  auto& checker = add<WireChecker>("check(" + ref.label + ")", ref, sink_);
+  wire_checkers_.push_back(&checker);
   return ref;
+}
+
+FlowChecker& Testbench::watch_flow(std::string name,
+                                   std::vector<const Wire*> entries,
+                                   std::vector<const Wire*> exits,
+                                   std::uint64_t allowed_in_flight) {
+  auto& checker = add<FlowChecker>(std::move(name), std::move(entries),
+                                   std::move(exits), sink_);
+  checker.set_allowed_in_flight(allowed_in_flight);
+  flow_checkers_.push_back(&checker);
+  return checker;
 }
 
 void Testbench::settle() {
@@ -32,6 +45,11 @@ void Testbench::step() {
 
 void Testbench::run(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+void Testbench::finish_checks() {
+  for (WireChecker* c : wire_checkers_) c->finish(cycle_);
+  for (FlowChecker* c : flow_checkers_) c->finish(cycle_);
 }
 
 }  // namespace tfsim::axi

@@ -1,5 +1,12 @@
 // Cycle-level testbench: owns wires and modules, runs the two-phase
 // (combinational settle, then clock edge) simulation loop.
+//
+// Every wire a testbench creates is bound to a WireChecker, and every module
+// it adds is handed the testbench's ViolationSink, so the AXI4-Stream
+// protocol assertions (see checker.hpp) run by default.  The default mode is
+// strict -- any violation throws ProtocolError, like a SystemVerilog
+// assertion aborting the simulation; tests that inject bugs on purpose
+// construct the bench with CheckMode::kCollect and inspect sink().
 #pragma once
 
 #include <cstdint>
@@ -9,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "axi/checker.hpp"
 #include "axi/module.hpp"
 #include "axi/stream.hpp"
 
@@ -16,34 +24,61 @@ namespace tfsim::axi {
 
 class Testbench {
  public:
-  /// Create a wire owned by the testbench.
+  explicit Testbench(CheckMode mode = CheckMode::kStrict) {
+    sink_.set_mode(mode);
+  }
+
+  /// Create a wire owned by the testbench.  A WireChecker is bound to it
+  /// automatically (protocol assertions are on by default).
   Wire& wire(std::string label);
 
   /// Construct and register a module.  Returns a reference with the
-  /// testbench retaining ownership.
+  /// testbench retaining ownership.  The testbench's violation sink is
+  /// attached so self-checking modules report into it.
   template <typename M, typename... Args>
   M& add(Args&&... args) {
     auto mod = std::make_unique<M>(std::forward<Args>(args)...);
     M& ref = *mod;
+    ref.attach_sink(&sink_);
     modules_.push_back(std::move(mod));
     return ref;
   }
 
+  /// Watch a region (entry wires -> exit wires) for beat conservation:
+  /// beats-in == beats-out, unmodified, in per-TDEST order.
+  /// `allowed_in_flight` is the region's legitimate internal buffering
+  /// (FIFO capacity etc.), checked by finish_checks().
+  FlowChecker& watch_flow(std::string name, std::vector<const Wire*> entries,
+                          std::vector<const Wire*> exits,
+                          std::uint64_t allowed_in_flight = 0);
+
   /// Advance one clock cycle: settle combinational logic, then tick.
   /// Throws std::runtime_error if the combinational loop does not converge
-  /// (a genuine combinational cycle in the module graph).
+  /// (a genuine combinational cycle in the module graph), and ProtocolError
+  /// in strict mode when a checker fires.
   void step();
 
   /// Advance n cycles.
   void run(std::uint64_t n);
 
+  /// End-of-test assertions: unterminated packets (WireChecker) and beat
+  /// conservation (FlowChecker).  Call after the last step().
+  void finish_checks();
+
   std::uint64_t cycle() const { return cycle_; }
+
+  ViolationSink& sink() { return sink_; }
+  const ViolationSink& sink() const { return sink_; }
+  void set_check_mode(CheckMode mode) { sink_.set_mode(mode); }
 
  private:
   void settle();
 
+  ViolationSink sink_;
   std::vector<std::unique_ptr<Wire>> wires_;
   std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<WireChecker*> wire_checkers_;
+  std::vector<FlowChecker*> flow_checkers_;
   std::uint64_t cycle_ = 0;
   bool dirty_ = false;
 };

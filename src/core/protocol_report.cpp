@@ -1,0 +1,31 @@
+#include "core/protocol_report.hpp"
+
+#include <map>
+
+namespace tfsim::core {
+
+Table violation_table(const std::string& title,
+                      const std::vector<axi::Violation>& violations) {
+  Table table(title, {"kind", "where", "cycle", "detail"});
+  for (const auto& v : violations) {
+    table.row({axi::to_string(v.kind), v.where, std::to_string(v.cycle),
+               v.detail});
+  }
+  return table;
+}
+
+Table violation_summary(const std::string& title,
+                        const axi::ViolationSink& sink) {
+  Table table(title, {"violation kind", "count"});
+  std::map<std::string, std::uint64_t> by_kind;  // ordered: stable output
+  for (const auto& v : sink.violations()) {
+    ++by_kind[axi::to_string(v.kind)];
+  }
+  for (const auto& [kind, count] : by_kind) {
+    table.row({kind, std::to_string(count)});
+  }
+  table.row({"TOTAL", std::to_string(sink.total())});
+  return table;
+}
+
+}  // namespace tfsim::core

@@ -1,0 +1,25 @@
+// Bridges the AXI protocol-assertion layer (axi/checker.hpp) into the
+// report machinery: violations rendered as the same aligned tables / CSV the
+// benches emit, so a characterization run can publish its protocol audit
+// next to its results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "axi/checker.hpp"
+#include "core/report.hpp"
+
+namespace tfsim::core {
+
+/// One row per violation: kind, location, cycle, detail.
+Table violation_table(const std::string& title,
+                      const std::vector<axi::Violation>& violations);
+
+/// One row per violation kind with its count, plus a TOTAL row.  Renders
+/// something even for a clean sink (a single zero TOTAL row), so reports
+/// always carry an explicit protocol-audit verdict.
+Table violation_summary(const std::string& title,
+                        const axi::ViolationSink& sink);
+
+}  // namespace tfsim::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace tfsim::sim {
 
@@ -103,7 +104,9 @@ Rng Rng::split() {
 }
 
 ZipfGenerator::ZipfGenerator(std::uint64_t n, double s) : n_(n), cdf_(n) {
-  assert(n > 0);
+  // A hard check, not an assert: with NDEBUG an empty table would make
+  // cdf_.back() below undefined behaviour.
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
   double sum = 0.0;
   for (std::uint64_t i = 0; i < n; ++i) {
     sum += 1.0 / std::pow(static_cast<double>(i + 1), s);

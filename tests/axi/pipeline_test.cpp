@@ -1,6 +1,11 @@
 // FIFO, register slice, mux, router, and full egress pipeline composition.
+// All benches run with the protocol checker in its default strict mode, so
+// every test here doubles as an assertion-layer regression; tests that
+// violate the protocol on purpose switch to collect mode and assert the
+// checker caught them.
 #include <gtest/gtest.h>
 
+#include "axi/checker.hpp"
 #include "axi/endpoints.hpp"
 #include "axi/fifo.hpp"
 #include "axi/monitor.hpp"
@@ -116,7 +121,9 @@ TEST(RouterTest, RoutesByDest) {
 }
 
 TEST(RouterTest, OutOfRangeDestIsCountedNotDeadlocked) {
-  Testbench tb;
+  // A bogus TDEST is a protocol violation (kMisroute); collect it instead
+  // of aborting so the drain behaviour can be verified too.
+  Testbench tb(CheckMode::kCollect);
   Wire& in = tb.wire("in");
   Wire& o0 = tb.wire("o0");
   auto& src = tb.add<Source>("src", in);
@@ -128,6 +135,7 @@ TEST(RouterTest, OutOfRangeDestIsCountedNotDeadlocked) {
   EXPECT_EQ(router.misroutes(), 1u);
   EXPECT_EQ(s0.received(), 1u);
   EXPECT_EQ(s0.arrivals()[0].beat.id, 1u);
+  EXPECT_EQ(tb.sink().count(ViolationKind::kMisroute), 1u);
 }
 
 TEST(MuxTest, RoundRobinIsFair) {
@@ -207,8 +215,9 @@ TEST(PipelineTest, EgressWithInjectorKeepsOrderAndRate) {
 }
 
 TEST(MonitorTest, DetectsValidRetraction) {
-  // Drive a wire by hand through a testbench with only a monitor.
-  Testbench tb;
+  // Drive a wire by hand through a testbench with only a monitor.  The
+  // testbench's own WireChecker sees the same violation, so collect mode.
+  Testbench tb(CheckMode::kCollect);
   Wire& w = tb.wire("w");
   auto& mon = tb.add<Monitor>("mon", w);
   w.set_valid(true);
@@ -219,10 +228,11 @@ TEST(MonitorTest, DetectsValidRetraction) {
   tb.step();
   EXPECT_FALSE(mon.clean());
   EXPECT_NE(mon.violations()[0].find("retracted"), std::string::npos);
+  EXPECT_EQ(tb.sink().count(ViolationKind::kValidRetracted), 1u);
 }
 
 TEST(MonitorTest, DetectsPayloadChangeWhileWaiting) {
-  Testbench tb;
+  Testbench tb(CheckMode::kCollect);
   Wire& w = tb.wire("w");
   auto& mon = tb.add<Monitor>("mon", w);
   w.set_valid(true);
@@ -233,6 +243,7 @@ TEST(MonitorTest, DetectsPayloadChangeWhileWaiting) {
   tb.step();
   EXPECT_FALSE(mon.clean());
   EXPECT_NE(mon.violations()[0].find("payload"), std::string::npos);
+  EXPECT_EQ(tb.sink().count(ViolationKind::kPayloadMutated), 1u);
 }
 
 TEST(TestbenchTest, DetectsCombinationalLoop) {

@@ -58,9 +58,9 @@ TEST(TableTest, CsvExport) {
   const std::string path = ::testing::TempDir() + "/tfsim_table.csv";
   ASSERT_TRUE(t.to_csv(path));
   std::ifstream in(path);
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n1,2\n");
   EXPECT_FALSE(t.to_csv("/no-such-dir-xyz/t.csv"));
 }
 

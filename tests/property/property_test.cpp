@@ -235,7 +235,9 @@ TEST(KvShadowTest, RandomOpsMatchMapOracle) {
       const auto got = store.get(ctx, key);
       const auto it = oracle.find(key);
       ASSERT_EQ(got.found, it != oracle.end()) << i;
-      if (got.found) ASSERT_EQ(got.version, it->second) << i;
+      if (got.found) {
+        ASSERT_EQ(got.version, it->second) << i;
+      }
     }
     ASSERT_EQ(store.size(), oracle.size());
   }

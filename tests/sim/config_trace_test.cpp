@@ -126,9 +126,9 @@ TEST(CsvWriterTest, FileModeWritesToDisk) {
     csv.row().col(std::int64_t{-3});
   }
   std::ifstream in(path);
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  EXPECT_EQ(content, "x\n-3\n");
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x\n-3\n");
 }
 
 TEST(CsvWriterTest, BadPathThrows) {

@@ -102,7 +102,9 @@ TEST_P(IntervalPropertyTest, AdmissionsAreSpacedAndAligned) {
     const Time slot = s.request(now);
     EXPECT_GE(slot, now);
     EXPECT_EQ(slot % interval, 0u) << "must admit on a gate boundary";
-    if (!first) EXPECT_GE(slot, prev + interval) << "min spacing violated";
+    if (!first) {
+      EXPECT_GE(slot, prev + interval) << "min spacing violated";
+    }
     prev = slot;
     first = false;
   }
