@@ -1,20 +1,26 @@
 // Shared helpers for the per-figure bench binaries.
 //
-// google-benchmark owns argv, so experiment sizing comes from environment
-// variables (defaults reproduce the paper's shapes at laptop-friendly
-// sizes; set TFSIM_FULL=1 for the paper's exact workload sizes):
+// Experiment sizing comes from environment variables (defaults reproduce
+// the paper's shapes at laptop-friendly sizes; set TFSIM_FULL=1 for the
+// paper's exact workload sizes):
 //   TFSIM_STREAM_ELEMENTS   STREAM array elements        (default 10000000)
 //   TFSIM_GRAPH_SCALE       Graph500 scale               (default 19; paper 20)
 //   TFSIM_GRAPH_EDGEFACTOR  Graph500 edgefactor          (default 16)
 //   TFSIM_KV_KEYS           KV-store key space           (default 200000)
 //   TFSIM_KV_REQUESTS       Memtier requests per client  (default 200; paper 10000)
 //   TFSIM_CSV_DIR           where to mirror result CSVs  (default ".")
+//   TFSIM_JOBS              sweep worker threads         (default 1 = serial;
+//                           0 = one per hardware thread)
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "sim/sweep.hpp"
 #include "workloads/graph500/graph500.hpp"
 #include "workloads/kvstore/memtier.hpp"
 #include "workloads/stream/stream.hpp"
@@ -62,6 +68,25 @@ inline std::string csv_path(const std::string& file) {
   std::string dir = ".";
   if (const char* v = std::getenv("TFSIM_CSV_DIR")) dir = v;
   return dir + "/" + file;
+}
+
+/// Run one independent simulation per element of `inputs` across
+/// $TFSIM_JOBS worker threads (serial when unset), returning results in
+/// input order — byte-identical to a serial loop, so tables and CSVs do
+/// not depend on the worker count.  Prints the sweep wall-clock so the
+/// speedup is visible next to the tables.
+template <typename T, typename Fn>
+auto run_sweep(const char* name, const std::vector<T>& inputs, Fn&& fn) {
+  const sim::SweepRunner runner;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = runner.map(inputs, std::forward<Fn>(fn));
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0);
+  std::printf("[%s] %zu points, %u job(s), wall %lld ms\n", name,
+              inputs.size(), runner.jobs(),
+              static_cast<long long>(wall.count()));
+  return results;
 }
 
 }  // namespace tfsim::bench

@@ -1,0 +1,104 @@
+// Event-engine hot-path microbenchmark: schedule/fire, cancellation, and
+// nested-reschedule throughput of sim::Engine.
+//
+// Emits BENCH_engine.json (google-benchmark JSON, mirrored into
+// $TFSIM_CSV_DIR) unless the caller passes its own --benchmark_out, so CI
+// can archive the perf trajectory of the engine from PR to PR.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+
+using tfsim::sim::Engine;
+using tfsim::sim::Time;
+
+namespace {
+
+// Schedule a batch up front, then drain it: the pure calendar cost with no
+// callback work.  Timestamps collide heavily (mod 64) to exercise the
+// (time, seq) tie-break path.
+void BM_ScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      e.schedule_at(i % 64, [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) * state.iterations());
+}
+BENCHMARK(BM_ScheduleFire)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+// Schedule, cancel every other event, then drain: the tombstone-skip path.
+void BM_ScheduleCancel(benchmark::State& state) {
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  std::vector<Engine::EventId> ids;
+  for (auto _ : state) {
+    Engine e;
+    ids.clear();
+    ids.reserve(batch);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      ids.push_back(e.schedule_at(i % 64, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) * state.iterations());
+}
+BENCHMARK(BM_ScheduleCancel)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+// Timer-wheel churn: a fixed population of self-rescheduling events, the
+// steady-state shape of NIC/link/server models (schedule from inside a
+// callback, one live event retiring per step).
+void BM_NestedReschedule(benchmark::State& state) {
+  const auto chains = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t hops = 256;
+  for (auto _ : state) {
+    Engine e;
+    std::uint64_t remaining = chains * hops;
+    std::function<void()> hop = [&] {
+      if (remaining == 0) return;  // budget spent: let the other chains drain
+      --remaining;
+      e.schedule_in(1 + remaining % 7, hop);
+    };
+    for (std::uint64_t c = 0; c < chains; ++c) {
+      e.schedule_at(c % 13, hop);
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(chains * hops) *
+                          state.iterations());
+}
+BENCHMARK(BM_NestedReschedule)->Arg(16)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default to a JSON report next to the CSVs so CI can archive it.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + tfsim::bench::csv_path("BENCH_engine.json");
+    args.push_back(out_flag.data());
+    args.push_back(const_cast<char*>("--benchmark_out_format=json"));
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,8 +5,10 @@
 // [0-90th]-percentile of production datacenter network latency -- with a
 // strong linear PERIOD-latency correlation (validated in §III-B; we print
 // the least-squares fit).
-#include <benchmark/benchmark.h>
-
+//
+// Each PERIOD is an independent Session, so the sweep fans out across
+// $TFSIM_JOBS workers; the table/CSV are identical for any worker count.
+#include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -18,38 +20,27 @@ using namespace tfsim;
 
 namespace {
 
-constexpr std::uint64_t kPeriods[] = {1, 2, 5, 10, 20, 50, 100, 200, 400};
+const std::vector<std::uint64_t> kPeriods = {1, 2, 5, 10, 20, 50, 100, 200, 400};
 
 struct Row {
-  std::uint64_t period;
-  double latency_us;
-  double bandwidth_gbps;
+  std::uint64_t period = 0;
+  double latency_us = 0.0;
+  double bandwidth_gbps = 0.0;
 };
-std::vector<Row> g_rows;
 
-void BM_StreamLatency(benchmark::State& state) {
-  const std::uint64_t period = kPeriods[state.range(0)];
-  for (auto _ : state) {
-    core::SessionConfig cfg;
-    cfg.period = period;
-    core::Session session(cfg);
-    const auto res = session.run_stream(bench::stream_config());
-    state.counters["latency_us"] = res.avg_latency_us;
-    state.counters["bw_gbps"] = res.best_bandwidth_gbps;
-    g_rows.push_back(Row{period, res.avg_latency_us, res.best_bandwidth_gbps});
-  }
+Row run_point(std::uint64_t period) {
+  core::SessionConfig cfg;
+  cfg.period = period;
+  core::Session session(cfg);
+  const auto res = session.run_stream(bench::stream_config());
+  return Row{period, res.avg_latency_us, res.best_bandwidth_gbps};
 }
-BENCHMARK(BM_StreamLatency)
-    ->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond)
-    ->ArgNames({"idx"});
 
-void print_table() {
+void print_table(const std::vector<Row>& rows) {
   core::Table table("Figure 2: STREAM-measured latency vs injection PERIOD",
                     {"PERIOD", "latency (us)", "bandwidth (GB/s)"});
   std::vector<double> xs, ys;
-  for (const auto& r : g_rows) {
+  for (const auto& r : rows) {
     table.row({std::to_string(r.period), core::Table::num(r.latency_us, 2),
                core::Table::num(r.bandwidth_gbps, 3)});
     xs.push_back(static_cast<double>(r.period));
@@ -67,11 +58,9 @@ void print_table() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_table();
+int main() {
+  const auto rows = bench::run_sweep("fig2_stream_latency", kPeriods,
+                                     [](std::uint64_t p) { return run_point(p); });
+  print_table(rows);
   return 0;
 }

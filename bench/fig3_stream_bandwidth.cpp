@@ -4,8 +4,11 @@
 // bandwidth-delay product stays roughly constant (~16.5 kB on the paper's
 // testbed): the injector throttles admission, it does not shrink the
 // outstanding-request window.
-#include <benchmark/benchmark.h>
-
+//
+// Each PERIOD is an independent Session, so the sweep fans out across
+// $TFSIM_JOBS workers; the table/CSV are identical for any worker count.
+#include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -17,45 +20,33 @@ using namespace tfsim;
 
 namespace {
 
-constexpr std::uint64_t kPeriods[] = {1, 2, 5, 10, 20, 50, 100, 200, 400};
+const std::vector<std::uint64_t> kPeriods = {1, 2, 5, 10, 20, 50, 100, 200, 400};
 
 struct Row {
-  std::uint64_t period;
-  double bandwidth_gbps;
-  double latency_us;
-  double bdp_kb;
+  std::uint64_t period = 0;
+  double bandwidth_gbps = 0.0;
+  double latency_us = 0.0;
+  double bdp_kb = 0.0;
 };
-std::vector<Row> g_rows;
 
-void BM_StreamBandwidth(benchmark::State& state) {
-  const std::uint64_t period = kPeriods[state.range(0)];
-  for (auto _ : state) {
-    core::SessionConfig cfg;
-    cfg.period = period;
-    core::Session session(cfg);
-    const auto res = session.run_stream(bench::stream_config());
-    // Pair each kernel's own bandwidth and latency (copy is the canonical
-    // STREAM line in the paper's plot).
-    const auto& k = res.kernel("copy");
-    Row row{period, k.bandwidth_gbps, k.avg_latency_us,
-            core::bdp_kb(k.bandwidth_gbps, k.avg_latency_us)};
-    state.counters["bw_gbps"] = row.bandwidth_gbps;
-    state.counters["bdp_kb"] = row.bdp_kb;
-    g_rows.push_back(row);
-  }
+Row run_point(std::uint64_t period) {
+  core::SessionConfig cfg;
+  cfg.period = period;
+  core::Session session(cfg);
+  const auto res = session.run_stream(bench::stream_config());
+  // Pair each kernel's own bandwidth and latency (copy is the canonical
+  // STREAM line in the paper's plot).
+  const auto& k = res.kernel("copy");
+  return Row{period, k.bandwidth_gbps, k.avg_latency_us,
+             core::bdp_kb(k.bandwidth_gbps, k.avg_latency_us)};
 }
-BENCHMARK(BM_StreamBandwidth)
-    ->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond)
-    ->ArgNames({"idx"});
 
-void print_table() {
+void print_table(const std::vector<Row>& rows) {
   core::Table table(
       "Figure 3: STREAM bandwidth vs injection PERIOD (copy kernel)",
       {"PERIOD", "bandwidth (GB/s)", "latency (us)", "BDP (kB)"});
   double bdp_min = 1e30, bdp_max = 0;
-  for (const auto& r : g_rows) {
+  for (const auto& r : rows) {
     table.row({std::to_string(r.period), core::Table::num(r.bandwidth_gbps, 3),
                core::Table::num(r.latency_us, 2), core::Table::num(r.bdp_kb, 1)});
     if (r.period > 1) {  // saturated regime
@@ -72,11 +63,9 @@ void print_table() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_table();
+int main() {
+  const auto rows = bench::run_sweep("fig3_stream_bandwidth", kPeriods,
+                                     [](std::uint64_t p) { return run_point(p); });
+  print_table(rows);
   return 0;
 }

@@ -5,8 +5,11 @@
 // (network-stack-bound), while Graph500 BFS grows to ~10.7x and SSSP to
 // ~8x (memory/compute-bound).  A ~30 us injected delay costs Redis <1% but
 // ~7x on Graph500.
-#include <benchmark/benchmark.h>
-
+//
+// The sweep fans out one Session per (PERIOD, application) cell across
+// $TFSIM_JOBS workers; the shared edge list is generated once up front and
+// only read inside the sweep.
+#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -21,17 +24,24 @@ namespace {
 
 constexpr std::uint64_t kPeriods[] = {1, 4, 8, 16, 32, 64};
 
+enum class App { kRedis, kBfs, kSssp };
+
+struct Point {
+  std::uint64_t period;
+  App app;
+};
+
+struct PointResult {
+  std::uint64_t period = 0;
+  App app = App::kRedis;
+  sim::Time elapsed = 0;
+  double injected_delay_us = 0.0;
+};
+
 struct Cell {
   sim::Time redis = 0, bfs = 0, sssp = 0;
   double injected_delay_us = 0.0;
 };
-std::map<std::uint64_t, Cell> g_cells;
-
-const workloads::g500::EdgeList& shared_edges() {
-  static const workloads::g500::EdgeList el =
-      workloads::g500::kronecker_generate(bench::graph_config().gen);
-  return el;
-}
 
 core::SessionConfig remote_cfg(std::uint64_t period) {
   core::SessionConfig cfg;
@@ -40,53 +50,41 @@ core::SessionConfig remote_cfg(std::uint64_t period) {
   return cfg;
 }
 
-void BM_Fig5Redis(benchmark::State& state) {
-  const std::uint64_t period = kPeriods[state.range(0)];
-  for (auto _ : state) {
-    core::Session session(remote_cfg(period));
-    const auto res =
-        session.run_memtier(bench::kv_store_config(), bench::memtier_config());
-    g_cells[period].redis = res.elapsed;
-    state.counters["elapsed_ms"] = sim::to_ms(res.elapsed);
+PointResult run_point(const Point& p, const workloads::g500::EdgeList& edges) {
+  PointResult res;
+  res.period = p.period;
+  res.app = p.app;
+  core::Session session(remote_cfg(p.period));
+  switch (p.app) {
+    case App::kRedis: {
+      const auto r =
+          session.run_memtier(bench::kv_store_config(), bench::memtier_config());
+      res.elapsed = r.elapsed;
+      break;
+    }
+    case App::kBfs: {
+      const auto job = session.run_bfs_job(bench::graph_config(), edges, 1);
+      res.elapsed = job.total();
+      // Injected delay proxy: mean added delay per transaction at the gate.
+      res.injected_delay_us =
+          session.testbed().borrower().nic().injector().added_delay().mean();
+      break;
+    }
+    case App::kSssp: {
+      const auto job = session.run_sssp_job(bench::graph_config(), edges, 1);
+      res.elapsed = job.total();
+      break;
+    }
   }
+  return res;
 }
 
-void BM_Fig5Bfs(benchmark::State& state) {
-  const std::uint64_t period = kPeriods[state.range(0)];
-  for (auto _ : state) {
-    core::Session session(remote_cfg(period));
-    const auto job = session.run_bfs_job(bench::graph_config(), shared_edges(), 1);
-    g_cells[period].bfs = job.total();
-    // Injected delay proxy: mean added delay per transaction at the gate.
-    g_cells[period].injected_delay_us =
-        session.testbed().borrower().nic().injector().added_delay().mean();
-    state.counters["job_ms"] = sim::to_ms(job.total());
-  }
-}
-
-void BM_Fig5Sssp(benchmark::State& state) {
-  const std::uint64_t period = kPeriods[state.range(0)];
-  for (auto _ : state) {
-    core::Session session(remote_cfg(period));
-    const auto job = session.run_sssp_job(bench::graph_config(), shared_edges(), 1);
-    g_cells[period].sssp = job.total();
-    state.counters["job_ms"] = sim::to_ms(job.total());
-  }
-}
-
-BENCHMARK(BM_Fig5Redis)->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
-    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
-BENCHMARK(BM_Fig5Bfs)->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
-    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
-BENCHMARK(BM_Fig5Sssp)->DenseRange(0, static_cast<int>(std::size(kPeriods)) - 1)
-    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
-
-void print_table() {
-  const Cell& base = g_cells[1];
+void print_table(const std::map<std::uint64_t, Cell>& cells) {
+  const Cell& base = cells.at(1);
   core::Table table(
       "Figure 5: degradation vs vanilla ThymesisFlow (PERIOD = 1)",
       {"PERIOD", "Redis", "Graph500 BFS", "Graph500 SSSP"});
-  for (const auto& [period, cell] : g_cells) {
+  for (const auto& [period, cell] : cells) {
     table.row({std::to_string(period),
                core::Table::ratio(core::degradation_from_times(cell.redis, base.redis)),
                core::Table::ratio(core::degradation_from_times(cell.bfs, base.bfs)),
@@ -99,11 +97,33 @@ void print_table() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_table();
+int main() {
+  // Generate the shared graph input once, before the fan-out.
+  const workloads::g500::EdgeList edges =
+      workloads::g500::kronecker_generate(bench::graph_config().gen);
+
+  std::vector<Point> points;
+  for (const auto period : kPeriods) {
+    for (const App app : {App::kRedis, App::kBfs, App::kSssp}) {
+      points.push_back({period, app});
+    }
+  }
+  const auto results =
+      bench::run_sweep("fig5_app_degradation", points,
+                       [&](const Point& p) { return run_point(p, edges); });
+
+  std::map<std::uint64_t, Cell> cells;
+  for (const auto& r : results) {
+    Cell& c = cells[r.period];
+    switch (r.app) {
+      case App::kRedis: c.redis = r.elapsed; break;
+      case App::kBfs:
+        c.bfs = r.elapsed;
+        c.injected_delay_us = r.injected_delay_us;
+        break;
+      case App::kSssp: c.sssp = r.elapsed; break;
+    }
+  }
+  print_table(cells);
   return 0;
 }

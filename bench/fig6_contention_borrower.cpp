@@ -4,8 +4,11 @@
 // disaggregated memory from the lender.  They compete for the bottleneck
 // network bandwidth, so per-instance bandwidth is ~total/N (the round-robin
 // egress divides it equally) while aggregate stays flat.
-#include <benchmark/benchmark.h>
-
+//
+// Each instance count is an independent Testbed, so the sweep fans out
+// across $TFSIM_JOBS workers; the table/CSV are identical for any count.
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -18,60 +21,52 @@ using namespace tfsim;
 
 namespace {
 
-constexpr int kInstanceCounts[] = {1, 2, 4, 8};
+const std::vector<int> kInstanceCounts = {1, 2, 4, 8};
 
 struct Row {
-  int instances;
-  double per_instance_gbps;
-  double aggregate_gbps;
-  double min_instance_gbps;
-  double max_instance_gbps;
+  int instances = 0;
+  double per_instance_gbps = 0.0;
+  double aggregate_gbps = 0.0;
+  double min_instance_gbps = 0.0;
+  double max_instance_gbps = 0.0;
 };
-std::vector<Row> g_rows;
 
-void BM_Mcbn(benchmark::State& state) {
-  const int n = kInstanceCounts[state.range(0)];
-  for (auto _ : state) {
-    node::Testbed testbed;
-    testbed.attach_remote();
-    const sim::Time measure_end = sim::from_ms(20.0);
+Row run_point(int n) {
+  node::Testbed testbed;
+  testbed.attach_remote();
+  const sim::Time measure_end = sim::from_ms(20.0);
 
-    std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
-    const std::uint64_t span = 512 * sim::kMiB;
-    for (int i = 0; i < n; ++i) {
-      workloads::FlowConfig cfg;
-      cfg.concurrency = 128;  // one full STREAM instance saturates the NIC
-      cfg.base = testbed.remote_base() + static_cast<std::uint64_t>(i) * span;
-      cfg.span_bytes = span;
-      cfg.stop_at = measure_end;
-      flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
-          testbed.engine(), testbed.borrower().nic(), cfg));
-    }
-    for (auto& f : flows) f->start();
-    testbed.engine().run();
-
-    Row row{n, 0, 0, 1e30, 0};
-    for (auto& f : flows) {
-      const double bw = f->stats().bandwidth_gbps(measure_end);
-      row.aggregate_gbps += bw;
-      row.min_instance_gbps = std::min(row.min_instance_gbps, bw);
-      row.max_instance_gbps = std::max(row.max_instance_gbps, bw);
-    }
-    row.per_instance_gbps = row.aggregate_gbps / n;
-    state.counters["per_instance_gbps"] = row.per_instance_gbps;
-    state.counters["aggregate_gbps"] = row.aggregate_gbps;
-    g_rows.push_back(row);
+  std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
+  const std::uint64_t span = 512 * sim::kMiB;
+  for (int i = 0; i < n; ++i) {
+    workloads::FlowConfig cfg;
+    cfg.concurrency = 128;  // one full STREAM instance saturates the NIC
+    cfg.base = testbed.remote_base() + static_cast<std::uint64_t>(i) * span;
+    cfg.span_bytes = span;
+    cfg.stop_at = measure_end;
+    flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
+        testbed.engine(), testbed.borrower().nic(), cfg));
   }
-}
-BENCHMARK(BM_Mcbn)->DenseRange(0, static_cast<int>(std::size(kInstanceCounts)) - 1)
-    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
+  for (auto& f : flows) f->start();
+  testbed.engine().run();
 
-void print_table() {
+  Row row{n, 0, 0, 1e30, 0};
+  for (auto& f : flows) {
+    const double bw = f->stats().bandwidth_gbps(measure_end);
+    row.aggregate_gbps += bw;
+    row.min_instance_gbps = std::min(row.min_instance_gbps, bw);
+    row.max_instance_gbps = std::max(row.max_instance_gbps, bw);
+  }
+  row.per_instance_gbps = row.aggregate_gbps / n;
+  return row;
+}
+
+void print_table(const std::vector<Row>& rows) {
   core::Table table(
       "Figure 6: memory contention at the borrower node (MCBN)",
       {"STREAM instances", "per-instance BW (GB/s)", "aggregate BW (GB/s)",
        "min/max instance (GB/s)"});
-  for (const auto& r : g_rows) {
+  for (const auto& r : rows) {
     table.row({std::to_string(r.instances),
                core::Table::num(r.per_instance_gbps, 3),
                core::Table::num(r.aggregate_gbps, 3),
@@ -86,11 +81,9 @@ void print_table() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_table();
+int main() {
+  const auto rows = bench::run_sweep("fig6_contention_borrower", kInstanceCounts,
+                                     [](int n) { return run_point(n); });
+  print_table(rows);
   return 0;
 }

@@ -5,8 +5,10 @@
 // (100s of GB/s) dwarfs the network (100 Gb/s), so borrower-visible
 // bandwidth stays flat regardless of lender-side load -- the paper's
 // insight that busy and idle lenders are equally viable.
-#include <benchmark/benchmark.h>
-
+//
+// Each lender load level is an independent Testbed, so the sweep fans out
+// across $TFSIM_JOBS workers; the table/CSV are identical for any count.
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -19,63 +21,55 @@ using namespace tfsim;
 
 namespace {
 
-constexpr int kLenderInstances[] = {0, 1, 2, 4, 8};
+const std::vector<int> kLenderInstances = {0, 1, 2, 4, 8};
 
 struct Row {
-  int lender_instances;
-  double borrower_gbps;
-  double lender_aggregate_gbps;
-  double lender_bus_utilization;
+  int lender_instances = 0;
+  double borrower_gbps = 0.0;
+  double lender_aggregate_gbps = 0.0;
+  double lender_bus_utilization = 0.0;
 };
-std::vector<Row> g_rows;
 
-void BM_Mcln(benchmark::State& state) {
-  const int n = kLenderInstances[state.range(0)];
-  for (auto _ : state) {
-    node::Testbed testbed;
-    testbed.attach_remote();
-    const sim::Time measure_end = sim::from_ms(20.0);
+Row run_point(int n) {
+  node::Testbed testbed;
+  testbed.attach_remote();
+  const sim::Time measure_end = sim::from_ms(20.0);
 
-    workloads::FlowConfig borrower_cfg;
-    borrower_cfg.concurrency = 128;
-    borrower_cfg.base = testbed.remote_base();
-    borrower_cfg.span_bytes = 512 * sim::kMiB;
-    borrower_cfg.stop_at = measure_end;
-    workloads::RemoteStreamFlow borrower_flow(
-        testbed.engine(), testbed.borrower().nic(), borrower_cfg);
+  workloads::FlowConfig borrower_cfg;
+  borrower_cfg.concurrency = 128;
+  borrower_cfg.base = testbed.remote_base();
+  borrower_cfg.span_bytes = 512 * sim::kMiB;
+  borrower_cfg.stop_at = measure_end;
+  workloads::RemoteStreamFlow borrower_flow(
+      testbed.engine(), testbed.borrower().nic(), borrower_cfg);
 
-    std::vector<std::unique_ptr<workloads::LocalStreamFlow>> lender_flows;
-    for (int i = 0; i < n; ++i) {
-      workloads::FlowConfig cfg;
-      cfg.concurrency = 64;  // a full STREAM instance's worth of demand
-      cfg.stop_at = measure_end;
-      lender_flows.push_back(std::make_unique<workloads::LocalStreamFlow>(
-          testbed.engine(), testbed.lender().dram(), cfg));
-    }
-
-    borrower_flow.start();
-    for (auto& f : lender_flows) f->start();
-    testbed.engine().run();
-
-    Row row{n, borrower_flow.stats().bandwidth_gbps(measure_end), 0.0,
-            testbed.lender().dram().utilization(measure_end)};
-    for (auto& f : lender_flows) {
-      row.lender_aggregate_gbps += f->stats().bandwidth_gbps(measure_end);
-    }
-    state.counters["borrower_gbps"] = row.borrower_gbps;
-    state.counters["lender_bus_util"] = row.lender_bus_utilization;
-    g_rows.push_back(row);
+  std::vector<std::unique_ptr<workloads::LocalStreamFlow>> lender_flows;
+  for (int i = 0; i < n; ++i) {
+    workloads::FlowConfig cfg;
+    cfg.concurrency = 64;  // a full STREAM instance's worth of demand
+    cfg.stop_at = measure_end;
+    lender_flows.push_back(std::make_unique<workloads::LocalStreamFlow>(
+        testbed.engine(), testbed.lender().dram(), cfg));
   }
-}
-BENCHMARK(BM_Mcln)->DenseRange(0, static_cast<int>(std::size(kLenderInstances)) - 1)
-    ->Iterations(1)->Unit(benchmark::kMillisecond)->ArgNames({"idx"});
 
-void print_table() {
+  borrower_flow.start();
+  for (auto& f : lender_flows) f->start();
+  testbed.engine().run();
+
+  Row row{n, borrower_flow.stats().bandwidth_gbps(measure_end), 0.0,
+          testbed.lender().dram().utilization(measure_end)};
+  for (auto& f : lender_flows) {
+    row.lender_aggregate_gbps += f->stats().bandwidth_gbps(measure_end);
+  }
+  return row;
+}
+
+void print_table(const std::vector<Row>& rows) {
   core::Table table(
       "Figure 7: memory contention at the lender node (MCLN)",
       {"lender STREAM instances", "borrower BW (GB/s)",
        "lender local BW (GB/s)", "lender bus utilization"});
-  for (const auto& r : g_rows) {
+  for (const auto& r : rows) {
     table.row({std::to_string(r.lender_instances),
                core::Table::num(r.borrower_gbps, 3),
                core::Table::num(r.lender_aggregate_gbps, 1),
@@ -89,11 +83,9 @@ void print_table() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_table();
+int main() {
+  const auto rows = bench::run_sweep("fig7_contention_lender", kLenderInstances,
+                                     [](int n) { return run_point(n); });
+  print_table(rows);
   return 0;
 }

@@ -5,7 +5,8 @@
 //                 [--dist=lognormal --mean-us=5] [--csv=sweep.csv]
 //
 // Demonstrates the characterization API end to end: one fresh Session per
-// configuration, paper-style degradation reporting, CSV export.
+// configuration fanned out across $TFSIM_JOBS workers (sim::SweepRunner),
+// paper-style degradation reporting, CSV export.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "core/report.hpp"
 #include "core/session.hpp"
 #include "sim/config.hpp"
+#include "sim/sweep.hpp"
 
 using namespace tfsim;
 
@@ -23,6 +25,8 @@ struct SweepPoint {
   std::string label;
   sim::Time elapsed = 0;
   double extra_metric = 0.0;  // bandwidth / ops / teps depending on workload
+  bool attached = true;       // false reproduces the Fig. 4 device-lost case
+  std::string error;          // non-empty: validation failure (fatal)
 };
 
 core::SessionConfig make_session_cfg(const sim::ArgParser& args,
@@ -51,23 +55,26 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 1;
 
   const std::string workload = args.str("workload");
-  std::vector<SweepPoint> points;
+  if (workload != "stream" && workload != "bfs" && workload != "redis") {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
 
-  // Pre-generate shared inputs once.
+  // Pre-generate shared inputs once, before the parallel fan-out.
   workloads::g500::Graph500Config gcfg;
   gcfg.gen.scale = static_cast<std::uint32_t>(args.integer("graph-scale"));
   workloads::g500::EdgeList edges;
   if (workload == "bfs") edges = workloads::g500::kronecker_generate(gcfg.gen);
 
-  for (const auto period : args.int_list("periods")) {
-    core::Session session(make_session_cfg(args, period));
-    if (!session.attached()) {
-      std::fprintf(stderr, "PERIOD %lld: attach failed (device lost)\n",
-                   static_cast<long long>(period));
-      continue;
-    }
+  const std::vector<std::int64_t> periods = args.int_list("periods");
+  auto run_point = [&](const std::int64_t period) {
     SweepPoint p;
     p.label = std::to_string(period);
+    core::Session session(make_session_cfg(args, period));
+    if (!session.attached()) {
+      p.attached = false;
+      return p;
+    }
     if (workload == "stream") {
       workloads::StreamConfig cfg;
       cfg.elements = static_cast<std::uint64_t>(args.integer("stream-elements"));
@@ -76,13 +83,9 @@ int main(int argc, char** argv) {
       p.extra_metric = res.best_bandwidth_gbps;
     } else if (workload == "bfs") {
       const auto job = session.run_bfs_job(gcfg, edges, 1);
-      if (!job.validation_error.empty()) {
-        std::fprintf(stderr, "BFS validation failed: %s\n",
-                     job.validation_error.c_str());
-        return 1;
-      }
+      p.error = job.validation_error;
       p.elapsed = job.total();
-    } else if (workload == "redis") {
+    } else {  // redis
       workloads::kv::KvStoreConfig store_cfg;
       workloads::kv::MemtierConfig load_cfg;
       load_cfg.key_space = 50'000;
@@ -91,11 +94,25 @@ int main(int argc, char** argv) {
       const auto res = session.run_memtier(store_cfg, load_cfg);
       p.elapsed = res.elapsed;
       p.extra_metric = res.ops_per_sec;
-    } else {
-      std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    }
+    return p;
+  };
+  // One independent Session per PERIOD: fan out across $TFSIM_JOBS workers
+  // (serial when unset); results come back in input order either way.
+  std::vector<SweepPoint> points = sim::SweepRunner().map(periods, run_point);
+
+  for (auto it = points.begin(); it != points.end();) {
+    if (!it->error.empty()) {
+      std::fprintf(stderr, "BFS validation failed: %s\n", it->error.c_str());
       return 1;
     }
-    points.push_back(p);
+    if (!it->attached) {
+      std::fprintf(stderr, "PERIOD %s: attach failed (device lost)\n",
+                   it->label.c_str());
+      it = points.erase(it);
+    } else {
+      ++it;
+    }
   }
 
   if (points.empty()) {

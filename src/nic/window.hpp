@@ -43,6 +43,10 @@ class RequestWindow {
                            sim::Priority prio = sim::Priority::kBulk) {
     retire(now, bulk_);
     retire(now, latency_);
+    // Sample occupancy after retirement as well as after insertion
+    // (record_completion): sampling only post-insert never observes the
+    // drained states and biases the mean upward.
+    occupancy_.add(static_cast<double>(bulk_.size() + latency_.size()));
     if (prio == sim::Priority::kBulk) {
       // Bulk may not consume the reserved slots.
       const std::size_t bulk_cap = entries_ - latency_reserved_;

@@ -6,48 +6,75 @@
 
 namespace tfsim::sim {
 
+std::uint32_t Engine::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return idx;
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.cb = nullptr;  // drop capture storage; the slab itself is recycled
+  ++s.gen;         // invalidate outstanding handles and queue entries
+  s.live = false;
+  free_.push_back(idx);
+}
+
 Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time is in the past");
   }
-  auto alive = std::make_shared<bool>(true);
-  EventId id(alive);
-  queue_.push(Event{t, next_seq_++, std::move(cb), std::move(alive)});
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  s.live = true;
+  queue_.push(Entry{t, next_seq_++, idx, s.gen});
   ++live_;
-  return id;
+  return EventId(this, idx, s.gen);
 }
 
 void Engine::cancel(EventId& id) {
-  if (auto alive = id.alive_.lock()) {
-    if (*alive) {
-      *alive = false;
+  if (id.owner_ == this && id.slot_ < slots_.size()) {
+    const Slot& s = slots_[id.slot_];
+    if (s.live && s.gen == id.gen_) {
+      release_slot(id.slot_);
       assert(live_ > 0);
       --live_;
     }
   }
-  id.alive_.reset();
+  id = EventId{};
 }
 
-bool Engine::pop_next(Event& ev) {
+bool Engine::pop_next(Entry& ev) {
   while (!queue_.empty()) {
-    // priority_queue::top() is const; the event is moved out via const_cast,
-    // which is safe because we pop immediately and never re-heapify.
-    ev = std::move(const_cast<Event&>(queue_.top()));
+    const Entry e = queue_.top();  // trivially copyable: cheap by-value pop
     queue_.pop();
-    if (*ev.alive) return true;  // skip cancelled tombstones
+    if (entry_live(e)) {
+      ev = e;
+      return true;
+    }
+    // stale entry: cancelled, or the slot was released and reused
   }
   return false;
 }
 
 bool Engine::step() {
-  Event ev;
+  Entry ev;
   if (!pop_next(ev)) return false;
   assert(ev.time >= now_);
   now_ = ev.time;
-  *ev.alive = false;
+  // Move the callback out before releasing: it may schedule new events that
+  // immediately reuse this slot under a fresh generation.
+  Callback cb = std::move(slots_[ev.slot].cb);
+  release_slot(ev.slot);
   --live_;
   ++executed_;
-  ev.cb();
+  cb();
   return true;
 }
 
@@ -58,8 +85,8 @@ void Engine::run() {
 
 void Engine::run_until(Time t) {
   for (;;) {
-    // Drop cancelled tombstones so the deadline check sees a live event.
-    while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+    // Drop stale entries so the deadline check sees a live event.
+    while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
     if (queue_.empty() || queue_.top().time > t) break;
     step();
   }

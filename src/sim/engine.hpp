@@ -3,11 +3,17 @@
 // A single-threaded event calendar: callbacks scheduled at absolute simulated
 // times, executed in (time, insertion-order) order.  Deterministic by
 // construction — equal-time events run in the order they were scheduled.
+//
+// Storage is a slab: callbacks live in pooled slots recycled through a free
+// list, and the priority queue holds small trivially-copyable entries that
+// reference slots by (index, generation).  Scheduling therefore costs no
+// per-event heap allocation (beyond std::function capture storage), and a
+// stale handle — cancelled, fired, or slot-reused — is detected by a
+// generation mismatch instead of a shared_ptr control block.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -20,16 +26,22 @@ class Engine {
   using Callback = std::function<void()>;
 
   /// Handle for cancelling a scheduled event.  Default-constructed handles
-  /// are inert; cancel() on an already-fired event is a no-op.
+  /// are inert; cancel() on an already-fired event is a no-op.  A handle
+  /// references its engine and must not be used after the engine is
+  /// destroyed.
   class EventId {
    public:
     EventId() = default;
-    bool valid() const { return !alive_.expired(); }
+    /// True while the event is still pending (not fired, not cancelled).
+    bool valid() const;
 
    private:
     friend class Engine;
-    explicit EventId(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-    std::weak_ptr<bool> alive_;
+    EventId(const Engine* owner, std::uint32_t slot, std::uint64_t gen)
+        : owner_(owner), slot_(slot), gen_(gen) {}
+    const Engine* owner_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t gen_ = 0;
   };
 
   Engine() = default;
@@ -68,26 +80,50 @@ class Engine {
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// Pooled callback storage.  `gen` increments every time the slot is
+  /// released (fired or cancelled), invalidating queue entries and handles
+  /// minted against the old generation.
+  struct Slot {
+    Callback cb;
+    std::uint64_t gen = 0;
+    bool live = false;
+  };
+  /// Calendar entry: trivially copyable, so popping never needs to move a
+  /// callback (or const_cast priority_queue::top()).
+  struct Entry {
     Time time;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> alive;  // *alive == false => cancelled
+    std::uint32_t slot;
+    std::uint64_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  bool pop_next(Event& ev);
+  bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  bool pop_next(Entry& ev);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // released slot indices, LIFO reuse
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
+
+inline bool Engine::EventId::valid() const {
+  if (owner_ == nullptr || slot_ >= owner_->slots_.size()) return false;
+  const Slot& s = owner_->slots_[slot_];
+  return s.live && s.gen == gen_;
+}
 
 }  // namespace tfsim::sim

@@ -1,12 +1,14 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace tfsim::sim {
 
 namespace {
-LogLevel g_level = [] {
+// Atomic: sweep worker threads (sim/sweep.hpp) read the level concurrently.
+std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("TFSIM_LOG")) {
     return parse_log_level(env);
   }

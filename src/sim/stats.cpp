@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace tfsim::sim {
 
@@ -44,22 +45,28 @@ double OnlineStats::stddev() const { return std::sqrt(variance()); }
 // ---------------------------------------------------------------------------
 
 Histogram::Histogram()
-    : buckets_(static_cast<std::size_t>(kOctaves) << kSubBucketBits, 0) {}
+    : buckets_(static_cast<std::size_t>(kNegOctaves + kPosOctaves)
+                   << kSubBucketBits,
+               0) {}
 
 std::size_t Histogram::bucket_index(double value) const {
-  if (!(value >= 1.0)) return 0;  // also catches NaN
-  const double l2 = std::log2(value);
-  auto octave = static_cast<int>(l2);
-  if (octave >= kOctaves) octave = kOctaves - 1;
+  // Values at or below the smallest representable octave (and NaN) collapse
+  // into bucket 0; everything in (2^-kNegOctaves, 2^kPosOctaves) gets log2
+  // bucketing, including the sub-unit range quantiles used to be blind to.
+  if (!(value >= std::ldexp(1.0, -kNegOctaves))) return 0;
+  auto octave = static_cast<int>(std::floor(std::log2(value)));
+  if (octave >= kPosOctaves) octave = kPosOctaves - 1;
+  if (octave < -kNegOctaves) octave = -kNegOctaves;
   // Position within the octave: value / 2^octave in [1, 2).
   const double frac = value / std::ldexp(1.0, octave) - 1.0;
   auto sub = static_cast<std::size_t>(frac * (1u << kSubBucketBits));
   if (sub >= (1u << kSubBucketBits)) sub = (1u << kSubBucketBits) - 1;
-  return (static_cast<std::size_t>(octave) << kSubBucketBits) + sub;
+  return (static_cast<std::size_t>(octave + kNegOctaves) << kSubBucketBits) +
+         sub;
 }
 
 double Histogram::bucket_midpoint(std::size_t idx) const {
-  const auto octave = static_cast<int>(idx >> kSubBucketBits);
+  const auto octave = static_cast<int>(idx >> kSubBucketBits) - kNegOctaves;
   const auto sub = idx & ((1u << kSubBucketBits) - 1);
   const double base = std::ldexp(1.0, octave);
   const double width = base / (1u << kSubBucketBits);
@@ -140,8 +147,13 @@ double RateMeter::bytes_per_sec(std::uint64_t interval_ps) const {
 }
 
 LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    // Mismatched series are a caller bug; silently truncating used to fit a
+    // line through accidentally re-paired points.
+    throw std::invalid_argument("linear_fit: x and y must have equal length");
+  }
   LinearFit fit;
-  const std::size_t n = std::min(x.size(), y.size());
+  const std::size_t n = x.size();
   if (n < 2) return fit;
   double sx = 0, sy = 0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -34,9 +34,11 @@ class OnlineStats {
 };
 
 /// Log-linear histogram (HDR-histogram style): values bucketed with bounded
-/// relative error, supporting quantile queries.  Range [1, 2^62), values
-/// below 1 clamp to the first bucket; sub-bucket resolution 1/64 (<1.6%
-/// relative error), plenty for latency percentiles.
+/// relative error, supporting quantile queries.  Range (2^-32, 2^62) —
+/// negative octaves keep quantiles of sub-unit metrics (ratios, GB/s,
+/// sub-µs latencies) meaningful; values at or below 2^-32 clamp to the
+/// first bucket.  Sub-bucket resolution 1/64 (<1.6% relative error),
+/// plenty for latency percentiles.
 class Histogram {
  public:
   Histogram();
@@ -62,7 +64,8 @@ class Histogram {
 
  private:
   static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave
-  static constexpr int kOctaves = 62;
+  static constexpr int kNegOctaves = 32;    // covers (2^-32, 1)
+  static constexpr int kPosOctaves = 62;    // covers [1, 2^62)
   std::size_t bucket_index(double value) const;
   double bucket_midpoint(std::size_t idx) const;
 
@@ -97,6 +100,8 @@ struct LinearFit {
   double intercept = 0.0;
   double r2 = 0.0;  ///< coefficient of determination
 };
+/// Precondition: x.size() == y.size(); throws std::invalid_argument
+/// otherwise (mismatched series are a caller bug, never truncated).
 LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
 
 }  // namespace tfsim::sim

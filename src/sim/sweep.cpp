@@ -1,0 +1,21 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace tfsim::sim {
+
+unsigned SweepRunner::jobs_from_env() {
+  const char* v = std::getenv("TFSIM_JOBS");
+  if (v == nullptr || *v == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return 1;  // junk: fall back to serial
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+  }
+  return static_cast<unsigned>(n);
+}
+
+}  // namespace tfsim::sim

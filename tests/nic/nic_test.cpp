@@ -113,6 +113,27 @@ TEST(WindowTest, ZeroEntriesRejected) {
   EXPECT_THROW(RequestWindow(0), std::invalid_argument);
 }
 
+// Regression: occupancy used to be sampled only after insertion in
+// record_completion, never after retirement, so drained states were
+// invisible and the mean was biased upward.  Known schedule:
+//   admit@0   -> retire none, sample 0; complete@100 -> sample 1
+//   admit@50  -> retire none, sample 1; complete@150 -> sample 2
+//   admit@200 -> retire both, sample 0; complete@300 -> sample 1
+TEST(WindowTest, OccupancySampledOnAdmissionAndCompletion) {
+  RequestWindow w(4);
+  EXPECT_EQ(w.admission_time(0), 0u);
+  w.record_completion(100);
+  EXPECT_EQ(w.admission_time(50), 50u);
+  w.record_completion(150);
+  EXPECT_EQ(w.admission_time(200), 200u);
+  w.record_completion(300);
+  const auto& occ = w.occupancy_stats();
+  EXPECT_EQ(occ.count(), 6u);
+  EXPECT_DOUBLE_EQ(occ.mean(), (0.0 + 1 + 1 + 2 + 0 + 1) / 6.0);
+  EXPECT_DOUBLE_EQ(occ.min(), 0.0);
+  EXPECT_DOUBLE_EQ(occ.max(), 2.0);
+}
+
 // --- timeout detector ------------------------------------------------------
 
 TEST(TimeoutTest, Fig4Cliff) {

@@ -131,5 +131,87 @@ TEST(EngineTest, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(e.executed(), 5u);
 }
 
+// --- event-pool handle semantics (slab + generation counters) --------------
+
+TEST(EngineTest, ValidTracksEventLifecycle) {
+  Engine e;
+  Engine::EventId none;
+  EXPECT_FALSE(none.valid());
+  auto id = e.schedule_at(5, [] {});
+  EXPECT_TRUE(id.valid());
+  e.run();
+  EXPECT_FALSE(id.valid()) << "fired event invalidates the handle";
+  auto id2 = e.schedule_at(10, [] {});
+  EXPECT_FALSE(id.valid()) << "slot reuse must not resurrect the old handle";
+  EXPECT_TRUE(id2.valid());
+  e.cancel(id2);
+  EXPECT_FALSE(id2.valid());
+}
+
+TEST(EngineTest, DoubleCancelIsNoop) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(10, [&] { ran = true; });
+  auto copy = id;  // handles are copyable; both reference the same event
+  e.cancel(id);
+  EXPECT_EQ(e.pending(), 0u);
+  e.cancel(id);    // reset handle: no-op
+  e.cancel(copy);  // stale generation: no-op, must not corrupt counters
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, CancelStaleHandleAfterSlotReuse) {
+  Engine e;
+  bool first = false, second = false;
+  auto id = e.schedule_at(10, [&] { first = true; });
+  e.run();  // fires; the slot returns to the free list
+  auto id2 = e.schedule_at(20, [&] { second = true; });  // reuses the slot
+  e.cancel(id);  // stale generation: must NOT cancel the new event
+  EXPECT_TRUE(id2.valid());
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EngineTest, CancelSiblingFromCallbackAtSameTime) {
+  Engine e;
+  bool sibling_ran = false;
+  Engine::EventId sib;
+  e.schedule_at(10, [&] { e.cancel(sib); });
+  sib = e.schedule_at(10, [&] { sibling_ran = true; });
+  e.run();
+  EXPECT_FALSE(sibling_ran);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+// Deterministic stress over many slab generations: cancel before fire,
+// double-cancel, and cancel-after-fire on handles whose slots have been
+// recycled many times.
+TEST(EngineTest, CancellationStressAcrossGenerations) {
+  Engine e;
+  int fired = 0;
+  constexpr int kRounds = 50;
+  constexpr int kPerRound = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Engine::EventId> ids;
+    ids.reserve(kPerRound);
+    for (int i = 0; i < kPerRound; ++i) {
+      ids.push_back(e.schedule_in(static_cast<Time>((i * 7) % 23),
+                                  [&] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3) e.cancel(ids[i]);
+    for (std::size_t i = 0; i < ids.size(); i += 6) e.cancel(ids[i]);  // double
+    e.run();
+    for (auto& id : ids) e.cancel(id);  // all stale now: post-fire cancels
+    EXPECT_EQ(e.pending(), 0u);
+  }
+  // Per round: 100 scheduled, 34 cancelled (i = 0, 3, ..., 99), 66 fire.
+  EXPECT_EQ(fired, kRounds * 66);
+  EXPECT_EQ(e.executed(), static_cast<std::uint64_t>(kRounds * 66));
+}
+
 }  // namespace
 }  // namespace tfsim::sim

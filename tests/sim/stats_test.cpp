@@ -99,12 +99,47 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
-TEST(HistogramTest, SubUnitValuesClampToFirstBucket) {
+// Regression: bucket_index used to collapse every sample < 1.0 into bucket
+// 0, making quantiles of sub-unit metrics (ratios, GB/s, sub-µs latencies)
+// meaningless.  Negative octaves must resolve them with the same bounded
+// relative error as values >= 1.
+TEST(HistogramTest, SubUnitQuantilesMatchSortedReference) {
+  Rng rng(29);
   Histogram h;
-  h.add(0.001);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(0.001, 0.9);  // entirely inside (0, 1)
+    h.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.01, 0.25, 0.50, 0.75, 0.99}) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(values.size()) - 1,
+                         std::ceil(q * static_cast<double>(values.size())) - 1));
+    const double exact = values[idx];
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SubUnitAndSuperUnitMix) {
+  Histogram h;
+  h.add(0.25);
   h.add(0.5);
+  h.add(2.0);
+  h.add(4.0);
+  EXPECT_NEAR(h.quantile(0.25), 0.25, 0.25 * 0.02);
+  EXPECT_NEAR(h.quantile(0.50), 0.5, 0.5 * 0.02);
+  EXPECT_NEAR(h.quantile(1.0), 4.0, 4.0 * 0.02);
+}
+
+TEST(HistogramTest, TinyValuesClampToFirstBucket) {
+  // Below 2^-32 the histogram saturates rather than misbehaving.
+  Histogram h;
+  h.add(1e-12);
+  h.add(0.0);
   EXPECT_EQ(h.count(), 2u);
-  EXPECT_LE(h.quantile(1.0), 1.1);
+  EXPECT_LE(h.quantile(1.0), 1e-9);
 }
 
 TEST(HistogramTest, MergeCombinesCounts) {
@@ -167,6 +202,13 @@ TEST(LinearFitTest, DegenerateInputs) {
   EXPECT_EQ(linear_fit({1.0}, {2.0}).r2, 0.0);
   // Vertical data (all same x) cannot be fit.
   EXPECT_EQ(linear_fit({3, 3, 3}, {1, 2, 3}).slope, 0.0);
+}
+
+TEST(LinearFitTest, MismatchedLengthsThrow) {
+  // Regression: mismatched series used to be silently truncated, fitting a
+  // line through accidentally re-paired points.
+  EXPECT_THROW(linear_fit({1.0, 2.0, 3.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({}, {1.0}), std::invalid_argument);
 }
 
 }  // namespace

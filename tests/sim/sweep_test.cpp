@@ -1,0 +1,102 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace tfsim::sim {
+namespace {
+
+// One independent mini-simulation per sweep point — its own Engine and RNG
+// stream, like every real sweep point — folded into a digest string so any
+// divergence (ordering, RNG cross-talk, result misplacement) is visible.
+std::string sim_job(std::size_t i) {
+  Engine e;
+  Rng rng(0x5EED0000 + i);
+  OnlineStats times;
+  std::uint64_t fired = 0;
+  std::function<void()> hop = [&] {
+    ++fired;
+    times.add(static_cast<double>(e.now()));
+    if (fired < 500) e.schedule_in(1 + rng.uniform_u64(9), hop);
+  };
+  for (int c = 0; c < 4; ++c) e.schedule_at(rng.uniform_u64(5), hop);
+  e.run();
+  std::ostringstream os;
+  os << i << ":" << fired << ":" << e.now() << ":" << times.mean();
+  return os.str();
+}
+
+// The property the whole PR hangs on: worker count changes wall-clock time
+// only, never results.
+TEST(SweepRunnerTest, SerialAndParallelProduceIdenticalResults) {
+  const std::size_t n = 24;
+  const auto serial = SweepRunner(1).run(n, sim_job);
+  const auto par4 = SweepRunner(4).run(n, sim_job);
+  const auto par16 = SweepRunner(16).run(n, sim_job);
+  EXPECT_EQ(serial, par4);
+  EXPECT_EQ(serial, par16);
+}
+
+TEST(SweepRunnerTest, ResultsComeBackInInputOrder) {
+  const auto r =
+      SweepRunner(8).run(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(r.size(), 100u);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], i * i);
+}
+
+TEST(SweepRunnerTest, MapPreservesInputOrder) {
+  const std::vector<int> inputs = {5, 3, 8, 1, 9, 2};
+  const auto r = SweepRunner(3).map(
+      inputs, [](const int& v) { return std::to_string(v * 10); });
+  ASSERT_EQ(r.size(), inputs.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], std::to_string(inputs[i] * 10));
+  }
+}
+
+TEST(SweepRunnerTest, EmptyAndSingleElementSweeps) {
+  EXPECT_TRUE(SweepRunner(4).run(0, [](std::size_t) { return 1; }).empty());
+  const auto one = SweepRunner(4).run(1, [](std::size_t i) { return i + 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(SweepRunnerTest, FirstExceptionByInputOrderWins) {
+  try {
+    SweepRunner(4).run(32, [](std::size_t i) -> int {
+      if (i % 2 != 0) throw std::runtime_error("boom " + std::to_string(i));
+      return 0;
+    });
+    FAIL() << "expected the job exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 1") << "lowest failing index, like serial";
+  }
+}
+
+TEST(SweepRunnerTest, ZeroJobsClampsToSerial) {
+  EXPECT_EQ(SweepRunner(0).jobs(), 1u);
+}
+
+TEST(SweepRunnerTest, JobsFromEnv) {
+  setenv("TFSIM_JOBS", "7", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 7u);
+  setenv("TFSIM_JOBS", "junk", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u) << "junk falls back to serial";
+  setenv("TFSIM_JOBS", "0", 1);
+  EXPECT_GE(SweepRunner::jobs_from_env(), 1u) << "0 = hardware concurrency";
+  unsetenv("TFSIM_JOBS");
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
+}
+
+}  // namespace
+}  // namespace tfsim::sim

@@ -16,12 +16,17 @@
 //      distribution the workloads use;
 //   3. the cycle-level AXI egress pipeline (router -> RateGate -> mux) with
 //      probabilistic source/sink, digesting every arrival, monitor gaps,
-//      and the protocol-checker verdict.
+//      and the protocol-checker verdict;
+//   4. the parallel sweep runner: the same batch of independent
+//      engine+RNG simulations executed serially and on a 4-worker pool
+//      must produce byte-identical result vectors (the property every
+//      TFSIM_JOBS>1 figure sweep relies on).
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +41,7 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -144,11 +150,57 @@ void scenario_axi(std::uint64_t seed, std::ostringstream& out) {
       << " protocol=" << (tb.sink().clean() ? "clean" : "violated") << "\n";
 }
 
-std::string run_all(std::uint64_t seed) {
+/// Returns false if the serial and parallel sweeps diverge (a hard failure,
+/// independent of the run-vs-run diff: both runs would diverge identically).
+bool scenario_sweep(std::uint64_t seed, std::ostringstream& out) {
+  using tfsim::sim::SweepRunner;
+
+  auto job = [seed](std::size_t i) {
+    Engine engine;
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    Digest d;
+    std::uint64_t fired = 0;
+    std::function<void()> hop = [&] {
+      ++fired;
+      d.add(engine.now());
+      if (fired < 800) engine.schedule_in(1 + rng.uniform_u64(11), hop);
+    };
+    for (int c = 0; c < 3; ++c) engine.schedule_at(rng.uniform_u64(4), hop);
+    engine.run();
+    std::ostringstream r;
+    r << i << ":" << fired << ":" << engine.now() << ":" << d.h;
+    return r.str();
+  };
+
+  const std::vector<std::string> serial = SweepRunner(1).run(16, job);
+  const std::vector<std::string> parallel = SweepRunner(4).run(16, job);
+
+  Digest d;
+  for (const auto& s : serial) {
+    for (const char c : s) d.add(static_cast<std::uint64_t>(c));
+  }
+  const bool match = serial == parallel;
+  out << "sweep: points=" << serial.size() << " digest=" << d.h
+      << " serial==parallel=" << (match ? "yes" : "NO") << "\n";
+  if (!match) {
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      if (serial[i] != parallel[i]) {
+        std::fprintf(stderr,
+                     "determinism_check: sweep point %zu diverged\n"
+                     "  serial:   %s\n  parallel: %s\n",
+                     i, serial[i].c_str(), parallel[i].c_str());
+      }
+    }
+  }
+  return match;
+}
+
+std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
   scenario_stats(seed, out);
   scenario_axi(seed, out);
+  sweep_ok = scenario_sweep(seed, out) && sweep_ok;
   return out.str();
 }
 
@@ -164,8 +216,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const std::string first = run_all(seed);
-  const std::string second = run_all(seed);
+  bool sweep_ok = true;
+  const std::string first = run_all(seed, sweep_ok);
+  const std::string second = run_all(seed, sweep_ok);
+  if (!sweep_ok) {
+    std::fprintf(stderr,
+                 "determinism_check: FAILED -- parallel sweep diverged from "
+                 "serial\n%s",
+                 first.c_str());
+    return 1;
+  }
   if (first == second) {
     std::printf("determinism_check: OK (seed=%llu)\n%s",
                 static_cast<unsigned long long>(seed), first.c_str());
