@@ -6,6 +6,9 @@
 // controller has DDR-channel-class bandwidth; as borrowers multiply, the
 // bottleneck shifts from each borrower's network link to the pool itself,
 // exactly the shift the paper predicts would change its §IV-E conclusions.
+//
+// Both shapes are declarative scenarios built through node::Cluster: N
+// borrowers, one memory target, only the target's bus bandwidth differs.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -13,10 +16,8 @@
 
 #include "bench_common.hpp"
 #include "core/report.hpp"
-#include "mem/dram.hpp"
-#include "net/network.hpp"
-#include "node/node.hpp"
-#include "sim/engine.hpp"
+#include "node/cluster.hpp"
+#include "scenario/scenario.hpp"
 #include "workloads/stream/stream_flow.hpp"
 
 using namespace tfsim;
@@ -32,53 +33,51 @@ struct Row {
 };
 std::vector<Row> g_rows;
 
-/// Build N borrowers attached to one memory target and measure per-instance
-/// streaming bandwidth.  `target_bw` distinguishes a lender server's bus
-/// from a pool controller.
-double run_scenario(int n, sim::Bandwidth target_bw) {
-  sim::Engine engine;
-  net::Network network;
+/// N borrowers, one memory target; `target_gbyte` distinguishes a lender
+/// server's bus (borrowing) from a CPU-less pool controller (pooling).
+scenario::ScenarioSpec target_scenario(int n, double target_gbyte) {
+  scenario::ScenarioSpec spec;
+  spec.name = "ablation-pooling";
+  scenario::NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = scenario::Role::kBorrower;
+  borrower.with_nic = true;
+  borrower.count = static_cast<std::uint32_t>(n);
+  scenario::NodeDecl target;
+  target.name = "memory-target";
+  target.role = scenario::Role::kLender;
+  target.with_nic = false;
+  target.dram.bus_bandwidth = sim::Bandwidth::from_gbyte(target_gbyte);
+  spec.nodes = {borrower, target};
+  scenario::ReservationSpec res;
+  res.size_gib = 1;  // per-borrower slice of the target
+  res.name = "pool-slice";
+  spec.reservations.push_back(res);
+  return spec;
+}
 
-  mem::DramConfig target_dram_cfg;
-  target_dram_cfg.bus_bandwidth = target_bw;
-  mem::Dram target(target_dram_cfg, "memory-target");
-  const net::NodeId target_id = network.add_node("memory-target");
-
-  struct Borrower {
-    std::unique_ptr<nic::DisaggNic> nic;
-    std::unique_ptr<workloads::RemoteStreamFlow> flow;
-  };
-  std::vector<Borrower> borrowers;
+double run_scenario(int n, double target_gbyte) {
+  node::Cluster cluster(target_scenario(n, target_gbyte));
+  cluster.attach_remote();
   const sim::Time measure_end = sim::from_ms(20.0);
 
-  for (int i = 0; i < n; ++i) {
-    const net::NodeId bid = network.add_node("borrower" + std::to_string(i));
-    network.connect(bid, target_id, net::LinkConfig{});
-    network.connect(target_id, bid, net::LinkConfig{});
-
-    nic::NicConfig ncfg;
-    Borrower b;
-    b.nic = std::make_unique<nic::DisaggNic>(ncfg, network, bid);
-    b.nic->register_lender(0, target_id, &target);
-    b.nic->translator().add_segment(nic::Segment{
-        mem::Range{0x1000'0000, sim::kGiB}, 0, 0, "pool-slice"});
-    b.nic->attach();
-
+  std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
+  for (std::size_t i = 0; i < cluster.num_borrowers(); ++i) {
     workloads::FlowConfig fcfg;
     fcfg.concurrency = 32;
-    fcfg.base = 0x1000'0000;
+    fcfg.base = cluster.remote_base(i);
     fcfg.span_bytes = 512 * sim::kMiB;
     fcfg.stop_at = measure_end;
-    b.flow = std::make_unique<workloads::RemoteStreamFlow>(engine, *b.nic, fcfg);
-    borrowers.push_back(std::move(b));
+    flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
+        cluster.engine(), cluster.borrower(i).nic(), fcfg));
   }
 
-  for (auto& b : borrowers) b.flow->start();
-  engine.run();
+  for (auto& f : flows) f->start();
+  cluster.engine().run();
 
   double total = 0.0;
-  for (auto& b : borrowers) {
-    total += b.flow->stats().bandwidth_gbps(measure_end);
+  for (auto& f : flows) {
+    total += f->stats().bandwidth_gbps(measure_end);
   }
   return total / n;
 }
@@ -89,11 +88,9 @@ void BM_Pooling(benchmark::State& state) {
     Row row{};
     row.borrowers = n;
     // Borrowing: lender server bus, 140 GB/s.
-    row.borrowing_per_instance_gbps =
-        run_scenario(n, sim::Bandwidth::from_gbyte(140.0));
+    row.borrowing_per_instance_gbps = run_scenario(n, 140.0);
     // Pooling: CPU-less pool controller, ~one DDR4 channel pair.
-    row.pooling_per_instance_gbps =
-        run_scenario(n, sim::Bandwidth::from_gbyte(16.0));
+    row.pooling_per_instance_gbps = run_scenario(n, 16.0);
     state.counters["borrowing_gbps"] = row.borrowing_per_instance_gbps;
     state.counters["pooling_gbps"] = row.pooling_per_instance_gbps;
     g_rows.push_back(row);

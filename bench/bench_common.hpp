@@ -13,13 +13,16 @@
 //                           0 = one per hardware thread)
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "workloads/graph500/graph500.hpp"
 #include "workloads/kvstore/memtier.hpp"
@@ -27,11 +30,22 @@
 
 namespace tfsim::bench {
 
+/// Strict environment-variable parsing: a set-but-malformed value is a
+/// configuration bug, so fail loudly instead of silently running the
+/// experiment at 0 (what strtoull's "parse as far as you can" gave us).
+/// An unset or empty variable falls back to the default.
 inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
-  if (const char* v = std::getenv(name)) {
-    return std::strtoull(v, nullptr, 10);
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || *v == '-') {
+    std::fprintf(stderr,
+                 "error: %s=\"%s\" is not a valid unsigned integer\n", name, v);
+    std::exit(2);
   }
-  return def;
+  return parsed;
 }
 
 inline bool full_size() { return env_u64("TFSIM_FULL", 0) != 0; }
@@ -68,6 +82,86 @@ inline std::string csv_path(const std::string& file) {
   std::string dir = ".";
   if (const char* v = std::getenv("TFSIM_CSV_DIR")) dir = v;
   return dir + "/" + file;
+}
+
+// --- scenario plumbing -----------------------------------------------------
+//
+// Benches take --scenario=<name-or-path>.  A path (contains '/' or ends in
+// .json) loads directly; a bare name resolves through, in order:
+//   $TFSIM_SCENARIO (explicit file override),
+//   $TFSIM_SCENARIO_DIR/<name>.json,
+//   ./scenarios/<name>.json,
+//   <source tree>/scenarios/<name>.json (baked in at build time),
+//   the built-in programmatic spec of the same name.
+
+inline bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Resolve and load a scenario; exits with a clear error when the name is
+/// unknown or the file fails to parse (a broken scenario must never run
+/// the experiment with silently-default settings).
+inline scenario::ScenarioSpec load_scenario(const std::string& name_or_path) {
+  try {
+    if (name_or_path.find('/') != std::string::npos ||
+        (name_or_path.size() > 5 &&
+         name_or_path.rfind(".json") == name_or_path.size() - 5)) {
+      return scenario::load_file(name_or_path);
+    }
+    if (const char* v = std::getenv("TFSIM_SCENARIO")) {
+      if (*v != '\0') return scenario::load_file(v);
+    }
+    const std::string file = name_or_path + ".json";
+    if (const char* v = std::getenv("TFSIM_SCENARIO_DIR")) {
+      if (*v != '\0' && file_exists(std::string(v) + "/" + file)) {
+        return scenario::load_file(std::string(v) + "/" + file);
+      }
+    }
+    if (file_exists("scenarios/" + file)) {
+      return scenario::load_file("scenarios/" + file);
+    }
+#ifdef TFSIM_SCENARIO_SOURCE_DIR
+    if (file_exists(std::string(TFSIM_SCENARIO_SOURCE_DIR) + "/" + file)) {
+      return scenario::load_file(std::string(TFSIM_SCENARIO_SOURCE_DIR) + "/" +
+                                 file);
+    }
+#endif
+    if (auto spec = scenario::builtin(name_or_path)) return *spec;
+    std::fprintf(stderr, "error: unknown scenario \"%s\"\n",
+                 name_or_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  std::exit(2);
+}
+
+/// Pick a sweep axis with the standard precedence: command-line override >
+/// the scenario's pinned axis > the bench's built-in default.
+template <typename T>
+inline std::vector<T> axis_values(const std::vector<std::int64_t>& cli,
+                                  const std::vector<T>& spec_axis,
+                                  std::vector<T> fallback) {
+  if (!cli.empty()) {
+    std::vector<T> out;
+    for (const auto v : cli) out.push_back(static_cast<T>(v));
+    return out;
+  }
+  if (!spec_axis.empty()) return spec_axis;
+  return fallback;
+}
+
+/// Echo the fully-resolved spec (defaults filled in, overrides applied)
+/// next to a result CSV, so every CSV states exactly what produced it.
+inline void echo_scenario(const scenario::ScenarioSpec& spec,
+                          const std::string& csv_file) {
+  std::string stem = csv_file;
+  if (stem.size() > 4 && stem.rfind(".csv") == stem.size() - 4) {
+    stem.resize(stem.size() - 4);
+  }
+  const std::string path = csv_path(stem + ".scenario.json");
+  std::ofstream out(path);
+  out << scenario::resolved_json(spec);
+  std::printf("resolved scenario -> %s\n", path.c_str());
 }
 
 /// Run one independent simulation per element of `inputs` across

@@ -14,6 +14,8 @@
 #include "bench_common.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
+#include "node/testbed.hpp"
+#include "sim/config.hpp"
 #include "sim/stats.hpp"
 
 using namespace tfsim;
@@ -28,8 +30,9 @@ struct Row {
   double bandwidth_gbps = 0.0;
 };
 
-Row run_point(std::uint64_t period) {
+Row run_point(const node::TestbedSpec& testbed, std::uint64_t period) {
   core::SessionConfig cfg;
+  cfg.testbed = testbed;
   cfg.period = period;
   core::Session session(cfg);
   const auto res = session.run_stream(bench::stream_config());
@@ -58,9 +61,24 @@ void print_table(const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
-  const auto rows = bench::run_sweep("fig2_stream_latency", kPeriods,
-                                     [](std::uint64_t p) { return run_point(p); });
+int main(int argc, char** argv) {
+  sim::ArgParser args(
+      "Figure 2: STREAM-measured latency vs injection PERIOD");
+  args.add_string("scenario", "paper_twonode",
+                  "scenario name (scenarios/<name>.json) or path");
+  args.add_string("periods", "", "PERIOD axis override (comma-separated)");
+  if (!args.parse(argc, argv)) return 1;
+
+  scenario::ScenarioSpec spec = bench::load_scenario(args.str("scenario"));
+  const node::TestbedSpec testbed = node::to_testbed_spec(spec);
+  const auto periods = bench::axis_values<std::uint64_t>(
+      args.int_list("periods"), spec.sweep.periods, kPeriods);
+
+  const auto rows = bench::run_sweep(
+      "fig2_stream_latency", periods,
+      [&](std::uint64_t p) { return run_point(testbed, p); });
   print_table(rows);
+  spec.sweep.periods = periods;
+  bench::echo_scenario(spec, "fig2_stream_latency.csv");
   return 0;
 }

@@ -17,12 +17,14 @@
 #include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
+#include "node/testbed.hpp"
+#include "sim/config.hpp"
 
 using namespace tfsim;
 
 namespace {
 
-constexpr std::uint64_t kPeriods[] = {1, 4, 8, 16, 32, 64};
+const std::vector<std::uint64_t> kPeriods = {1, 4, 8, 16, 32, 64};
 
 enum class App { kRedis, kBfs, kSssp };
 
@@ -43,18 +45,21 @@ struct Cell {
   double injected_delay_us = 0.0;
 };
 
-core::SessionConfig remote_cfg(std::uint64_t period) {
+core::SessionConfig remote_cfg(const node::TestbedSpec& testbed,
+                               std::uint64_t period) {
   core::SessionConfig cfg;
+  cfg.testbed = testbed;
   cfg.period = period;
   cfg.placement = node::Placement::kRemote;
   return cfg;
 }
 
-PointResult run_point(const Point& p, const workloads::g500::EdgeList& edges) {
+PointResult run_point(const node::TestbedSpec& testbed, const Point& p,
+                      const workloads::g500::EdgeList& edges) {
   PointResult res;
   res.period = p.period;
   res.app = p.app;
-  core::Session session(remote_cfg(p.period));
+  core::Session session(remote_cfg(testbed, p.period));
   switch (p.app) {
     case App::kRedis: {
       const auto r =
@@ -80,7 +85,8 @@ PointResult run_point(const Point& p, const workloads::g500::EdgeList& edges) {
 }
 
 void print_table(const std::map<std::uint64_t, Cell>& cells) {
-  const Cell& base = cells.at(1);
+  // Degradation baseline: PERIOD = 1 when swept, else the lowest PERIOD.
+  const Cell& base = cells.count(1) ? cells.at(1) : cells.begin()->second;
   core::Table table(
       "Figure 5: degradation vs vanilla ThymesisFlow (PERIOD = 1)",
       {"PERIOD", "Redis", "Graph500 BFS", "Graph500 SSSP"});
@@ -97,20 +103,32 @@ void print_table(const std::map<std::uint64_t, Cell>& cells) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sim::ArgParser args(
+      "Figure 5: application degradation vs injection PERIOD");
+  args.add_string("scenario", "paper_twonode",
+                  "scenario name (scenarios/<name>.json) or path");
+  args.add_string("periods", "", "PERIOD axis override (comma-separated)");
+  if (!args.parse(argc, argv)) return 1;
+
+  scenario::ScenarioSpec spec = bench::load_scenario(args.str("scenario"));
+  const node::TestbedSpec testbed = node::to_testbed_spec(spec);
+  const auto periods = bench::axis_values<std::uint64_t>(
+      args.int_list("periods"), spec.sweep.periods, kPeriods);
+
   // Generate the shared graph input once, before the fan-out.
   const workloads::g500::EdgeList edges =
       workloads::g500::kronecker_generate(bench::graph_config().gen);
 
   std::vector<Point> points;
-  for (const auto period : kPeriods) {
+  for (const auto period : periods) {
     for (const App app : {App::kRedis, App::kBfs, App::kSssp}) {
       points.push_back({period, app});
     }
   }
-  const auto results =
-      bench::run_sweep("fig5_app_degradation", points,
-                       [&](const Point& p) { return run_point(p, edges); });
+  const auto results = bench::run_sweep(
+      "fig5_app_degradation", points,
+      [&](const Point& p) { return run_point(testbed, p, edges); });
 
   std::map<std::uint64_t, Cell> cells;
   for (const auto& r : results) {
@@ -125,5 +143,7 @@ int main() {
     }
   }
   print_table(cells);
+  spec.sweep.periods = periods;
+  bench::echo_scenario(spec, "fig5_app_degradation.csv");
   return 0;
 }

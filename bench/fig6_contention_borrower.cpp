@@ -15,13 +15,14 @@
 #include "bench_common.hpp"
 #include "core/report.hpp"
 #include "node/testbed.hpp"
+#include "sim/config.hpp"
 #include "workloads/stream/stream_flow.hpp"
 
 using namespace tfsim;
 
 namespace {
 
-const std::vector<int> kInstanceCounts = {1, 2, 4, 8};
+const std::vector<std::uint32_t> kInstanceCounts = {1, 2, 4, 8};
 
 struct Row {
   int instances = 0;
@@ -31,8 +32,8 @@ struct Row {
   double max_instance_gbps = 0.0;
 };
 
-Row run_point(int n) {
-  node::Testbed testbed;
+Row run_point(const node::TestbedSpec& spec, int n) {
+  node::Testbed testbed(spec);
   testbed.attach_remote();
   const sim::Time measure_end = sim::from_ms(20.0);
 
@@ -81,9 +82,26 @@ void print_table(const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
-  const auto rows = bench::run_sweep("fig6_contention_borrower", kInstanceCounts,
-                                     [](int n) { return run_point(n); });
+int main(int argc, char** argv) {
+  sim::ArgParser args(
+      "Figure 6: memory contention at the borrower node (MCBN)");
+  args.add_string("scenario", "paper_twonode",
+                  "scenario name (scenarios/<name>.json) or path");
+  args.add_string("instances", "",
+                  "STREAM instance-count axis override (comma-separated)");
+  if (!args.parse(argc, argv)) return 1;
+
+  scenario::ScenarioSpec spec = bench::load_scenario(args.str("scenario"));
+  const node::TestbedSpec testbed = node::to_testbed_spec(spec);
+  const auto counts = bench::axis_values<std::uint32_t>(
+      args.int_list("instances"), spec.sweep.instances, kInstanceCounts);
+
+  const auto rows = bench::run_sweep(
+      "fig6_contention_borrower", counts, [&](std::uint32_t n) {
+        return run_point(testbed, static_cast<int>(n));
+      });
   print_table(rows);
+  spec.sweep.instances = counts;
+  bench::echo_scenario(spec, "fig6_contention_borrower.csv");
   return 0;
 }

@@ -7,17 +7,21 @@
 //   * QoS: one pair is latency-class and bypasses bulk backlog;
 //   * a fatter trunk (what a real operator would provision).
 //
+// The fabric is the checked-in trunk_contention scenario (dumbbell
+// topology) built by node::Cluster; only the probe borrower's NIC and the
+// trunk bandwidth are adjusted per configuration.
+//
 //   ./beyond_rackscale [--pairs=8] [--trunk-gbit=100] [--ms=10]
+//                      [--scenario=trunk_contention]
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/report.hpp"
-#include "mem/dram.hpp"
-#include "net/topology.hpp"
-#include "nic/nic.hpp"
+#include "node/cluster.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/config.hpp"
-#include "sim/engine.hpp"
 #include "workloads/stream/stream_flow.hpp"
 
 using namespace tfsim;
@@ -30,34 +34,53 @@ struct FabricResult {
   double aggregate_gbps = 0;
 };
 
-FabricResult run_fabric(int pairs, double trunk_gbit, bool probe_priority,
+/// The shared-trunk scenario reshaped for this study: the first borrower
+/// becomes a dedicated "probe" declaration so its NIC can differ (QoS
+/// window reservation), and the trunk bandwidth is overridden in place.
+scenario::ScenarioSpec probe_scenario(const scenario::ScenarioSpec& base,
+                                      int pairs, double trunk_gbit,
+                                      bool probe_priority) {
+  scenario::ScenarioSpec spec = base;
+  spec.set_borrower_count(static_cast<std::uint32_t>(pairs));
+  spec.set_lender_count(static_cast<std::uint32_t>(pairs));
+  spec.topology.trunk.bandwidth = sim::Bandwidth::from_gbit(trunk_gbit);
+
+  std::vector<scenario::NodeDecl> nodes;
+  scenario::NodeDecl probe;
+  bool split = false;
+  for (auto& n : spec.nodes) {
+    if (!split && n.role == scenario::Role::kBorrower) {
+      probe = n;
+      probe.name = "probe";
+      probe.count = 1;
+      if (probe_priority) probe.nic.latency_reserved_entries = 16;
+      nodes.push_back(probe);
+      if (n.count > 1) {
+        n.count -= 1;
+        nodes.push_back(n);
+      }
+      split = true;
+    } else {
+      nodes.push_back(n);
+    }
+  }
+  spec.nodes = std::move(nodes);
+  return spec;
+}
+
+FabricResult run_fabric(const scenario::ScenarioSpec& base, int pairs,
+                        double trunk_gbit, bool probe_priority,
                         sim::Time horizon) {
-  sim::Engine engine;
-  net::Network network;
-  net::StarTopologyConfig tcfg;
-  tcfg.pairs = static_cast<std::uint32_t>(pairs);
-  tcfg.trunk.bandwidth = sim::Bandwidth::from_gbit(trunk_gbit);
-  const auto topo = net::StarTopology::build(network, tcfg);
+  node::Cluster cluster(
+      probe_scenario(base, pairs, trunk_gbit, probe_priority));
+  cluster.attach_remote();
 
-  std::vector<std::unique_ptr<mem::Dram>> drams;
-  std::vector<std::unique_ptr<nic::DisaggNic>> nics;
   std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
-
-  for (int i = 0; i < pairs; ++i) {
-    drams.push_back(std::make_unique<mem::Dram>(mem::DramConfig{}));
-    nic::NicConfig ncfg;
-    if (i == 0 && probe_priority) ncfg.latency_reserved_entries = 16;
-    auto nic = std::make_unique<nic::DisaggNic>(
-        ncfg, network, topo.borrowers[static_cast<std::size_t>(i)]);
-    nic->register_lender(0, topo.lenders[static_cast<std::size_t>(i)],
-                         drams.back().get());
-    nic->translator().add_segment(
-        nic::Segment{mem::Range{1ull << 40, sim::kGiB}, 0, 0, "seg"});
-    nic->attach();
+  for (std::size_t i = 0; i < cluster.num_borrowers(); ++i) {
     workloads::FlowConfig fcfg;
     fcfg.concurrency = i == 0 ? 16 : 128;
-    fcfg.base = 1ull << 40;
-    fcfg.span_bytes = 512 * sim::kMiB;
+    fcfg.base = cluster.remote_base(i);
+    fcfg.span_bytes = cluster.remote_span(i);
     fcfg.stop_at = horizon;
     if (i == 0 && probe_priority) fcfg.priority = sim::Priority::kLatency;
     if (i != 0) {
@@ -66,15 +89,14 @@ FabricResult run_fabric(int pairs, double trunk_gbit, bool probe_priority,
       fcfg.seed = 17 + static_cast<std::uint64_t>(i);
     }
     flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
-        engine, *nic, fcfg));
-    nics.push_back(std::move(nic));
+        cluster.engine(), cluster.borrower(i).nic(), fcfg));
   }
   for (auto& f : flows) f->start();
-  engine.run();
+  cluster.engine().run();
 
   FabricResult r;
   r.probe_mean_us = flows[0]->stats().latency_us.mean();
-  r.probe_p99_us = nics[0]->latency_us().p99();
+  r.probe_p99_us = cluster.borrower(0).nic().latency_us().p99();
   for (auto& f : flows) r.aggregate_gbps += f->stats().bandwidth_gbps(horizon);
   return r;
 }
@@ -86,8 +108,11 @@ int main(int argc, char** argv) {
   args.add_int("pairs", 8, "borrower-lender pairs on the fabric");
   args.add_double("trunk-gbit", 100.0, "trunk bandwidth (Gb/s)");
   args.add_double("ms", 10.0, "measurement window (simulated ms)");
+  args.add_string("scenario", "trunk_contention",
+                  "fabric scenario name (scenarios/<name>.json) or path");
   if (!args.parse(argc, argv)) return 1;
 
+  const scenario::ScenarioSpec base = bench::load_scenario(args.str("scenario"));
   const int pairs = static_cast<int>(args.integer("pairs"));
   const double trunk = args.real("trunk-gbit");
   const auto horizon = sim::from_ms(args.real("ms"));
@@ -97,16 +122,16 @@ int main(int argc, char** argv) {
           " bursty neighbours",
       {"configuration", "probe mean (us)", "probe p99 (us)",
        "fabric aggregate (GB/s)"});
-  const auto congested = run_fabric(pairs, trunk, false, horizon);
+  const auto congested = run_fabric(base, pairs, trunk, false, horizon);
   table.row({"shared trunk, no QoS", core::Table::num(congested.probe_mean_us, 2),
              core::Table::num(congested.probe_p99_us, 2),
              core::Table::num(congested.aggregate_gbps, 2)});
-  const auto qos = run_fabric(pairs, trunk, true, horizon);
+  const auto qos = run_fabric(base, pairs, trunk, true, horizon);
   table.row({"shared trunk, probe latency-class",
              core::Table::num(qos.probe_mean_us, 2),
              core::Table::num(qos.probe_p99_us, 2),
              core::Table::num(qos.aggregate_gbps, 2)});
-  const auto fat = run_fabric(pairs, trunk * 4, false, horizon);
+  const auto fat = run_fabric(base, pairs, trunk * 4, false, horizon);
   table.row({"4x trunk, no QoS", core::Table::num(fat.probe_mean_us, 2),
              core::Table::num(fat.probe_p99_us, 2),
              core::Table::num(fat.aggregate_gbps, 2)});

@@ -2,11 +2,12 @@
 // instance counts and watch where the bottleneck actually sits.
 //
 //   ./contention_study [--instances=1,2,4,8] [--scenario=both|mcbn|mcln]
-//                      [--ms=20]
+//                      [--ms=20] [--testbed=paper_twonode]
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/report.hpp"
 #include "node/testbed.hpp"
 #include "sim/config.hpp"
@@ -17,12 +18,13 @@ using namespace tfsim;
 namespace {
 
 /// N STREAM instances on the borrower, all remote (MCBN).
-void run_mcbn(const std::vector<std::int64_t>& counts, sim::Time horizon) {
+void run_mcbn(const node::TestbedSpec& spec,
+              const std::vector<std::int64_t>& counts, sim::Time horizon) {
   core::Table table("MCBN: all instances on the borrower, remote memory",
                     {"instances", "per-instance GB/s", "aggregate GB/s",
                      "NIC window stalls"});
   for (const auto n : counts) {
-    node::Testbed tb;
+    node::Testbed tb(spec);
     tb.attach_remote();
     std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -48,11 +50,12 @@ void run_mcbn(const std::vector<std::int64_t>& counts, sim::Time horizon) {
 }
 
 /// One borrower instance + N instances hammering the lender's bus (MCLN).
-void run_mcln(const std::vector<std::int64_t>& counts, sim::Time horizon) {
+void run_mcln(const node::TestbedSpec& spec,
+              const std::vector<std::int64_t>& counts, sim::Time horizon) {
   core::Table table("MCLN: borrower streams remotely; N instances on lender",
                     {"lender instances", "borrower GB/s", "lender bus util"});
   for (const auto n : counts) {
-    node::Testbed tb;
+    node::Testbed tb(spec);
     tb.attach_remote();
     workloads::FlowConfig bcfg;
     bcfg.concurrency = 128;
@@ -87,12 +90,16 @@ int main(int argc, char** argv) {
   args.add_string("instances", "1,2,4,8", "instance counts to sweep");
   args.add_string("scenario", "both", "both | mcbn | mcln");
   args.add_double("ms", 20.0, "measurement window (simulated ms)");
+  args.add_string("testbed", "paper_twonode",
+                  "testbed scenario name (scenarios/<name>.json) or path");
   if (!args.parse(argc, argv)) return 1;
 
+  const node::TestbedSpec spec =
+      node::to_testbed_spec(bench::load_scenario(args.str("testbed")));
   const auto counts = args.int_list("instances");
   const auto horizon = sim::from_ms(args.real("ms"));
   const auto scenario = args.str("scenario");
-  if (scenario == "both" || scenario == "mcbn") run_mcbn(counts, horizon);
-  if (scenario == "both" || scenario == "mcln") run_mcln(counts, horizon);
+  if (scenario == "both" || scenario == "mcbn") run_mcbn(spec, counts, horizon);
+  if (scenario == "both" || scenario == "mcln") run_mcln(spec, counts, horizon);
   return 0;
 }

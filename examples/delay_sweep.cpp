@@ -3,6 +3,12 @@
 //
 //   ./delay_sweep --workload=stream|bfs|redis [--periods=1,8,64,512]
 //                 [--dist=lognormal --mean-us=5] [--csv=sweep.csv]
+//                 [--delays-us=0.5,2,10] [--scenario=paper_twonode]
+//
+// Two sweep modes: --periods sweeps the fixed-PERIOD injector (the paper's
+// methodology); --delays-us sweeps the *mean injected delay* directly in
+// distribution mode (--dist, default fixed) -- fractional microseconds
+// allowed.  The testbed itself comes from a scenario file.
 //
 // Demonstrates the characterization API end to end: one fresh Session per
 // configuration fanned out across $TFSIM_JOBS workers (sim::SweepRunner),
@@ -11,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
+#include "node/testbed.hpp"
 #include "sim/config.hpp"
 #include "sim/sweep.hpp"
 
@@ -29,13 +37,29 @@ struct SweepPoint {
   std::string error;          // non-empty: validation failure (fatal)
 };
 
+/// One sweep cell: either a fixed-PERIOD point or a distribution-mode
+/// point at a given mean delay (delay_us >= 0 selects the latter).
+struct SweepCfg {
+  std::int64_t period = 1;
+  double delay_us = -1.0;
+  std::string label;
+};
+
 core::SessionConfig make_session_cfg(const sim::ArgParser& args,
-                                     std::int64_t period) {
+                                     const node::TestbedSpec& testbed,
+                                     const SweepCfg& point) {
   core::SessionConfig cfg;
-  cfg.period = static_cast<std::uint64_t>(period);
-  if (!args.str("dist").empty()) {
-    cfg.dist_kind = net::parse_dist_kind(args.str("dist"));
-    cfg.dist_mean = sim::from_us(args.real("mean-us"));
+  cfg.testbed = testbed;
+  if (point.delay_us >= 0.0) {
+    const std::string dist = args.str("dist");
+    cfg.dist_kind = net::parse_dist_kind(dist.empty() ? "fixed" : dist);
+    cfg.dist_mean = sim::from_us(point.delay_us);
+  } else {
+    cfg.period = static_cast<std::uint64_t>(point.period);
+    if (!args.str("dist").empty()) {
+      cfg.dist_kind = net::parse_dist_kind(args.str("dist"));
+      cfg.dist_mean = sim::from_us(args.real("mean-us"));
+    }
   }
   return cfg;
 }
@@ -48,6 +72,11 @@ int main(int argc, char** argv) {
   args.add_string("periods", "1,8,64,512", "injector PERIOD sweep");
   args.add_string("dist", "", "distribution mode: fixed|uniform|exponential|lognormal|pareto");
   args.add_double("mean-us", 2.0, "mean injected delay (distribution mode)");
+  args.add_string("delays-us", "",
+                  "sweep mean injected delay instead of PERIOD "
+                  "(comma-separated us, fractions allowed)");
+  args.add_string("scenario", "paper_twonode",
+                  "testbed scenario name (scenarios/<name>.json) or path");
   args.add_int("stream-elements", 2'000'000, "STREAM array elements");
   args.add_int("graph-scale", 16, "Graph500 scale");
   args.add_int("kv-requests", 100, "memtier requests per client");
@@ -66,11 +95,27 @@ int main(int argc, char** argv) {
   workloads::g500::EdgeList edges;
   if (workload == "bfs") edges = workloads::g500::kronecker_generate(gcfg.gen);
 
-  const std::vector<std::int64_t> periods = args.int_list("periods");
-  auto run_point = [&](const std::int64_t period) {
+  const node::TestbedSpec testbed =
+      node::to_testbed_spec(bench::load_scenario(args.str("scenario")));
+
+  // Sweep axis: mean injected delays (distribution mode) when --delays-us
+  // is given, injector PERIODs otherwise.
+  std::vector<SweepCfg> cells;
+  if (const auto delays = args.double_list("delays-us"); !delays.empty()) {
+    for (const double d : delays) {
+      char label[32];
+      std::snprintf(label, sizeof label, "%g us", d);
+      cells.push_back({1, d, label});
+    }
+  } else {
+    for (const auto period : args.int_list("periods")) {
+      cells.push_back({period, -1.0, std::to_string(period)});
+    }
+  }
+  auto run_point = [&](const SweepCfg& cell) {
     SweepPoint p;
-    p.label = std::to_string(period);
-    core::Session session(make_session_cfg(args, period));
+    p.label = cell.label;
+    core::Session session(make_session_cfg(args, testbed, cell));
     if (!session.attached()) {
       p.attached = false;
       return p;
@@ -97,9 +142,9 @@ int main(int argc, char** argv) {
     }
     return p;
   };
-  // One independent Session per PERIOD: fan out across $TFSIM_JOBS workers
+  // One independent Session per cell: fan out across $TFSIM_JOBS workers
   // (serial when unset); results come back in input order either way.
-  std::vector<SweepPoint> points = sim::SweepRunner().map(periods, run_point);
+  std::vector<SweepPoint> points = sim::SweepRunner().map(cells, run_point);
 
   for (auto it = points.begin(); it != points.end();) {
     if (!it->error.empty()) {
@@ -120,8 +165,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const bool delay_mode = !args.double_list("delays-us").empty();
   core::Table table("delay sweep: " + workload,
-                    {"PERIOD", "elapsed (ms)", "degradation vs first",
+                    {delay_mode ? "mean delay" : "PERIOD", "elapsed (ms)",
+                     "degradation vs first",
                      workload == "redis" ? "ops/sec" : "bandwidth (GB/s)"});
   for (const auto& p : points) {
     table.row({p.label, core::Table::num(sim::to_ms(p.elapsed), 2),

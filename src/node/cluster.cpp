@@ -1,0 +1,226 @@
+#include "node/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "ctrl/policy.hpp"
+#include "net/latency_dist.hpp"
+#include "sim/log.hpp"
+
+namespace tfsim::node {
+
+namespace {
+
+NodeSpec to_node_spec(const scenario::NodeDecl& decl, std::uint32_t index) {
+  NodeSpec spec;
+  spec.name = decl.count == 1 ? decl.name : decl.name + std::to_string(index);
+  spec.dram = decl.dram;
+  spec.with_nic = decl.nic_enabled();
+  spec.nic = decl.nic;
+  return spec;
+}
+
+}  // namespace
+
+Cluster::Cluster(const scenario::ScenarioSpec& spec) : spec_(spec) {
+  if (spec_.nodes.empty()) {
+    throw std::invalid_argument("Cluster: scenario declares no nodes");
+  }
+  build_nodes();
+  build_topology();
+  build_control_plane();
+  apply_injector();
+  remote_.resize(borrowers_.size());
+}
+
+void Cluster::build_nodes() {
+  // Expansion order is declaration order, so net ids, registry ids and the
+  // policy's tie-breaks are all fixed by the spec alone.
+  for (const auto& decl : spec_.nodes) {
+    for (std::uint32_t i = 0; i < decl.count; ++i) {
+      nodes_.push_back(
+          std::make_unique<Node>(to_node_spec(decl, i), engine_, network_));
+      Node* n = nodes_.back().get();
+      (decl.role == scenario::Role::kBorrower ? borrowers_ : lenders_)
+          .push_back(n);
+    }
+  }
+}
+
+void Cluster::build_topology() {
+  const auto& topo = spec_.topology;
+  switch (topo.kind) {
+    case scenario::TopologyKind::kDirect:
+      // Full borrower x lender mesh of point-to-point cables (the paper's
+      // two-node testbed is the 1x1 instance).
+      for (Node* b : borrowers_) {
+        for (Node* l : lenders_) {
+          network_.connect(b->net_id(), l->net_id(), topo.link);
+          network_.connect(l->net_id(), b->net_id(), topo.link);
+        }
+      }
+      break;
+    case scenario::TopologyKind::kDumbbell: {
+      // borrowers -- switchA == shared trunk == switchB -- lenders.  The
+      // switches are fabric elements, not compute nodes, so they live only
+      // in the network graph.
+      const net::NodeId sw_a = network_.add_node(spec_.name + "/switch-a");
+      const net::NodeId sw_b = network_.add_node(spec_.name + "/switch-b");
+      network_.connect(sw_a, sw_b, topo.trunk);
+      network_.connect(sw_b, sw_a, topo.trunk);
+      for (Node* b : borrowers_) {
+        network_.connect(b->net_id(), sw_a, topo.link);
+        network_.connect(sw_a, b->net_id(), topo.link);
+      }
+      for (Node* l : lenders_) {
+        network_.connect(l->net_id(), sw_b, topo.link);
+        network_.connect(sw_b, l->net_id(), topo.link);
+      }
+      // Any borrower may be paired with any lender by the policy, so route
+      // every pair across the trunk.
+      for (Node* b : borrowers_) {
+        for (Node* l : lenders_) {
+          network_.add_route(b->net_id(), l->net_id(),
+                             {{b->net_id(), sw_a}, {sw_a, sw_b}, {sw_b, l->net_id()}});
+          network_.add_route(l->net_id(), b->net_id(),
+                             {{l->net_id(), sw_b}, {sw_b, sw_a}, {sw_a, b->net_id()}});
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Cluster::build_control_plane() {
+  for (const auto& n : nodes_) {
+    registry_ids_.push_back(
+        registry_.add_node(n->name(), n->dram().config().capacity_bytes));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const bool is_borrower =
+        std::find(borrowers_.begin(), borrowers_.end(), nodes_[i].get()) !=
+        borrowers_.end();
+    registry_.set_role(registry_ids_[i],
+                       is_borrower ? ctrl::Role::kBorrower : ctrl::Role::kLender);
+  }
+  cp_ = std::make_unique<ctrl::ControlPlane>(registry_,
+                                             ctrl::make_policy(spec_.policy));
+  for (Node* b : borrowers_) {
+    if (!b->has_nic()) continue;
+    for (Node* l : lenders_) {
+      b->nic().register_lender(registry_id(*l), l->net_id(), &l->dram());
+    }
+  }
+}
+
+void Cluster::apply_injector() {
+  const auto& inj = spec_.injector;
+  for (Node* b : borrowers_) {
+    if (!b->has_nic()) continue;
+    if (inj.dist_kind.has_value()) {
+      b->nic().set_distribution_injector(
+          std::make_unique<net::LatencyDistribution>(
+              *inj.dist_kind, sim::from_us(inj.dist_mean_us), inj.dist_seed));
+    } else {
+      b->nic().set_period(inj.period);
+    }
+  }
+}
+
+Node* Cluster::find(const std::string& name) {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+std::uint32_t Cluster::registry_id(const Node& n) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].get() == &n) return registry_ids_[i];
+  }
+  throw std::invalid_argument("Cluster: node not part of this cluster");
+}
+
+bool Cluster::attach_remote() {
+  if (attached_) return true;
+  for (const auto& res : spec_.reservations) {
+    // Which borrowers this reservation applies to: all when unnamed, else
+    // the exact expanded node name or every expansion of a declaration.
+    std::vector<std::size_t> targets;
+    for (std::size_t i = 0; i < borrowers_.size(); ++i) {
+      const std::string& n = borrowers_[i]->name();
+      const bool decl_match =
+          !res.borrower.empty() && n.size() > res.borrower.size() &&
+          n.compare(0, res.borrower.size(), res.borrower) == 0 &&
+          n.find_first_not_of("0123456789", res.borrower.size()) ==
+              std::string::npos;
+      if (res.borrower.empty() || n == res.borrower || decl_match) {
+        targets.push_back(i);
+      }
+    }
+    if (targets.empty()) {
+      TFSIM_LOG(Error) << "cluster: reservation \"" << res.name
+                       << "\": no borrower named \"" << res.borrower << "\"";
+      return false;
+    }
+    const std::uint64_t size = res.size_gib * sim::kGiB;
+    const std::uint64_t chunk = size / res.chunks;
+    for (const std::size_t bi : targets) {
+      Node* b = borrowers_[bi];
+      if (!b->has_nic()) {
+        TFSIM_LOG(Error) << "cluster: borrower " << b->name() << " has no NIC";
+        return false;
+      }
+      for (std::uint32_t k = 0; k < res.chunks; ++k) {
+        // Last chunk absorbs the division remainder.
+        const std::uint64_t bytes =
+            k + 1 == res.chunks ? size - chunk * (res.chunks - 1) : chunk;
+        std::string name = res.name;
+        if (targets.size() > 1) name += "@" + b->name();
+        if (res.chunks > 1) name += "#" + std::to_string(k);
+        const auto reservation =
+            cp_->reserve(registry_id(*b), bytes, name);
+        if (!reservation.has_value()) {
+          TFSIM_LOG(Error) << "cluster: reservation failed (" << name << ")";
+          return false;
+        }
+        const auto base =
+            cp_->attach(reservation->id, b->nic(), b->memory_map());
+        if (!base.has_value()) {
+          TFSIM_LOG(Warn) << "cluster: attach failed (device timeout?)";
+          return false;
+        }
+        RemoteWindow& w = remote_[bi];
+        if (!w.base.has_value()) w.base = *base;
+        w.end = *base + bytes;
+      }
+    }
+  }
+  attached_ = true;
+  return true;
+}
+
+mem::Addr Cluster::remote_base(std::size_t i) const {
+  return remote_.at(i).base.value();
+}
+
+std::uint64_t Cluster::remote_span(std::size_t i) const {
+  const RemoteWindow& w = remote_.at(i);
+  return w.base.has_value() ? w.end - *w.base : 0;
+}
+
+void Cluster::set_period(std::uint64_t period) {
+  for (Node* b : borrowers_) {
+    if (b->has_nic()) b->nic().set_period(period);
+  }
+}
+
+std::uint64_t Cluster::period() const {
+  for (Node* b : borrowers_) {
+    if (b->has_nic()) return b->nic().period();
+  }
+  throw std::logic_error("Cluster: no borrower NIC to read PERIOD from");
+}
+
+}  // namespace tfsim::node

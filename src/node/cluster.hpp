@@ -1,0 +1,96 @@
+// An N-node disaggregation testbed assembled from a declarative
+// scenario::ScenarioSpec: borrower and lender nodes, the fabric joining
+// them (direct cables or a two-switch dumbbell with a shared trunk), the
+// control plane with the configured placement policy, and the
+// remote-memory reservations (optionally striped across lenders).
+//
+// Cluster generalizes the paper's hardwired two-node prototype to
+// 1-borrower-N-lender pooling and M-borrowers-sharing-a-trunk contention;
+// Testbed is now a thin two-node wrapper over it, so every Session-based
+// experiment runs through this same assembly path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/control_plane.hpp"
+#include "ctrl/registry.hpp"
+#include "net/network.hpp"
+#include "node/context.hpp"
+#include "node/node.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace tfsim::node {
+
+class Cluster {
+ public:
+  explicit Cluster(const scenario::ScenarioSpec& spec);
+
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return network_; }
+  ctrl::NodeRegistry& registry() { return registry_; }
+  ctrl::ControlPlane& control_plane() { return *cp_; }
+  const scenario::ScenarioSpec& spec() const { return spec_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  /// Lookup by expanded name ("borrower", "lender2", ...); nullptr if absent.
+  Node* find(const std::string& name);
+
+  std::size_t num_borrowers() const { return borrowers_.size(); }
+  std::size_t num_lenders() const { return lenders_.size(); }
+  Node& borrower(std::size_t i = 0) { return *borrowers_.at(i); }
+  Node& lender(std::size_t i = 0) { return *lenders_.at(i); }
+  /// Control-plane registry id of a node (for reserve()/telemetry calls).
+  std::uint32_t registry_id(const Node& n) const;
+
+  /// Execute every reservation in the spec: policy-picked lender(s), chunked
+  /// striping, NIC translation programming, and the hot-plug attach
+  /// handshake.  Returns false when any FPGA attach handshake times out
+  /// (extreme PERIOD; the Fig. 4 failure) or no lender can host a chunk.
+  bool attach_remote();
+  bool remote_attached() const { return attached_; }
+  /// Base (resp. total bytes) of borrower i's hot-plugged remote window.
+  /// Chunks attach contiguously, so [base, base + span) is usable.
+  mem::Addr remote_base(std::size_t i = 0) const;
+  std::uint64_t remote_span(std::size_t i = 0) const;
+
+  /// Reconfigure every borrower NIC injector between runs.
+  void set_period(std::uint64_t period);
+  std::uint64_t period() const;
+
+  /// A CPU context on borrower i (the node running the workloads).
+  MemContext make_context(const CpuConfig& cfg, std::string name = "ctx",
+                          std::size_t borrower_idx = 0) {
+    return MemContext(borrower(borrower_idx), cfg, std::move(name));
+  }
+
+ private:
+  void build_nodes();
+  void build_topology();
+  void build_control_plane();
+  void apply_injector();
+
+  scenario::ScenarioSpec spec_;
+  sim::Engine engine_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> borrowers_;
+  std::vector<Node*> lenders_;
+  ctrl::NodeRegistry registry_;
+  std::vector<std::uint32_t> registry_ids_;  ///< parallel to nodes_
+  std::unique_ptr<ctrl::ControlPlane> cp_;
+  bool attached_ = false;
+  /// Per borrower: [base, end) of the attached remote window.
+  struct RemoteWindow {
+    std::optional<mem::Addr> base;
+    mem::Addr end = 0;
+  };
+  std::vector<RemoteWindow> remote_;  ///< parallel to borrowers_
+};
+
+}  // namespace tfsim::node

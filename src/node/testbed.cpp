@@ -1,9 +1,6 @@
 #include "node/testbed.hpp"
 
-#include <memory>
-
-#include "ctrl/policy.hpp"
-#include "sim/log.hpp"
+#include <stdexcept>
 
 namespace tfsim::node {
 
@@ -18,50 +15,74 @@ TestbedSpec thymesisflow_testbed() {
   return spec;
 }
 
-Testbed::Testbed(const TestbedSpec& spec) : spec_(spec) {
-  borrower_ = std::make_unique<Node>(spec_.borrower, engine_, network_);
-  lender_ = std::make_unique<Node>(spec_.lender, engine_, network_);
-  network_.connect(borrower_->net_id(), lender_->net_id(), spec_.link);
-  network_.connect(lender_->net_id(), borrower_->net_id(), spec_.link);
-
-  borrower_reg_ = registry_.add_node(spec_.borrower.name,
-                                     spec_.borrower.dram.capacity_bytes);
-  lender_reg_ = registry_.add_node(spec_.lender.name,
-                                   spec_.lender.dram.capacity_bytes);
-  registry_.set_role(borrower_reg_, ctrl::Role::kBorrower);
-  registry_.set_role(lender_reg_, ctrl::Role::kLender);
-  cp_ = std::make_unique<ctrl::ControlPlane>(
-      registry_, std::make_unique<ctrl::FirstFitPolicy>());
-
-  borrower_->nic().register_lender(lender_reg_, lender_->net_id(),
-                                   &lender_->dram());
+scenario::ScenarioSpec to_scenario(const TestbedSpec& spec) {
+  scenario::ScenarioSpec scen;
+  scen.name = "testbed";
+  scen.description = "two-node testbed (TestbedSpec compatibility shim)";
+  scenario::NodeDecl borrower;
+  borrower.name = spec.borrower.name;
+  borrower.role = scenario::Role::kBorrower;
+  borrower.dram = spec.borrower.dram;
+  borrower.with_nic = spec.borrower.with_nic;
+  borrower.nic = spec.borrower.nic;
+  scenario::NodeDecl lender;
+  lender.name = spec.lender.name;
+  lender.role = scenario::Role::kLender;
+  lender.dram = spec.lender.dram;
+  lender.with_nic = spec.lender.with_nic;
+  lender.nic = spec.lender.nic;
+  scen.nodes = {borrower, lender};
+  scen.topology.link = spec.link;
+  // Legacy semantics: the borrower NicConfig carries the PERIOD, so the
+  // injector spec must agree or Cluster::apply_injector would reset it.
+  scen.injector.period = spec.borrower.nic.period;
+  scenario::ReservationSpec res;
+  res.size_gib = spec.remote_gib;
+  res.name = "thymesisflow-borrowed";
+  scen.reservations.push_back(res);
+  return scen;
 }
 
-bool Testbed::attach_remote() {
-  if (remote_attached()) return true;
-  const std::uint64_t size = spec_.remote_gib * sim::kGiB;
-  const auto reservation =
-      cp_->reserve(borrower_reg_, size, "thymesisflow-borrowed");
-  if (!reservation.has_value()) {
-    TFSIM_LOG(Error) << "testbed: reservation failed";
-    return false;
+TestbedSpec to_testbed_spec(const scenario::ScenarioSpec& scen) {
+  if (scen.topology.kind != scenario::TopologyKind::kDirect) {
+    throw std::invalid_argument(
+        "to_testbed_spec: scenario \"" + scen.name + "\" is not direct-linked");
   }
-  const auto base = cp_->attach(reservation->id, borrower_->nic(),
-                                borrower_->memory_map());
-  if (!base.has_value()) {
-    TFSIM_LOG(Warn) << "testbed: attach failed (device timeout?)";
-    return false;
+  const scenario::NodeDecl* borrower = nullptr;
+  const scenario::NodeDecl* lender = nullptr;
+  std::uint32_t borrowers = 0, lenders = 0;
+  for (const auto& n : scen.nodes) {
+    if (n.role == scenario::Role::kBorrower) {
+      borrower = &n;
+      borrowers += n.count;
+    } else {
+      lender = &n;
+      lenders += n.count;
+    }
   }
-  remote_base_ = *base;
-  return true;
+  if (borrowers != 1 || lenders != 1) {
+    throw std::invalid_argument(
+        "to_testbed_spec: scenario \"" + scen.name + "\" has " +
+        std::to_string(borrowers) + " borrower(s) and " +
+        std::to_string(lenders) + " lender(s); need exactly 1+1");
+  }
+  TestbedSpec spec;
+  spec.borrower.name = borrower->name;
+  spec.borrower.dram = borrower->dram;
+  spec.borrower.with_nic = borrower->nic_enabled();
+  spec.borrower.nic = borrower->nic;
+  spec.lender.name = lender->name;
+  spec.lender.dram = lender->dram;
+  spec.lender.with_nic = lender->nic_enabled();
+  spec.lender.nic = lender->nic;
+  spec.link = scen.topology.link;
+  if (!scen.reservations.empty()) {
+    spec.remote_gib = scen.reservations.front().size_gib;
+  }
+  return spec;
 }
 
-void Testbed::set_period(std::uint64_t period) {
-  borrower_->nic().set_period(period);
-}
-
-std::uint64_t Testbed::period() const {
-  return const_cast<Testbed*>(this)->borrower_->nic().period();
-}
+Testbed::Testbed(const TestbedSpec& spec)
+    : spec_(spec), cluster_(to_scenario(spec)) {}
 
 }  // namespace tfsim::node

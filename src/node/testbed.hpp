@@ -2,6 +2,11 @@
 // lender nodes, the 100 Gb/s point-to-point link, the control plane, and
 // the hot-plugged remote region -- the environment every experiment in the
 // paper runs in.
+//
+// Since the scenario-layer refactor this is a thin wrapper over
+// node::Cluster: the TestbedSpec converts to the equivalent two-node
+// scenario::ScenarioSpec and Cluster does the assembly, so the pair-wise
+// prototype and the N-node clusters share one wiring path.
 #pragma once
 
 #include <cstdint>
@@ -11,53 +16,58 @@
 #include "ctrl/control_plane.hpp"
 #include "ctrl/registry.hpp"
 #include "net/network.hpp"
+#include "node/cluster.hpp"
 #include "node/context.hpp"
 #include "node/node.hpp"
 #include "node/spec.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
 
 namespace tfsim::node {
+
+/// The two-node scenario equivalent to `spec` (borrower first, then
+/// lender, direct link, one reservation of spec.remote_gib).
+scenario::ScenarioSpec to_scenario(const TestbedSpec& spec);
+
+/// Extract a TestbedSpec from a two-node scenario (exactly one borrower
+/// and one lender, direct topology); throws std::invalid_argument
+/// otherwise.  Bridges scenario files to the Session/Testbed API.
+TestbedSpec to_testbed_spec(const scenario::ScenarioSpec& spec);
 
 class Testbed {
  public:
   explicit Testbed(const TestbedSpec& spec = thymesisflow_testbed());
 
-  sim::Engine& engine() { return engine_; }
-  net::Network& network() { return network_; }
-  Node& borrower() { return *borrower_; }
-  Node& lender() { return *lender_; }
-  ctrl::NodeRegistry& registry() { return registry_; }
-  ctrl::ControlPlane& control_plane() { return *cp_; }
+  sim::Engine& engine() { return cluster_.engine(); }
+  net::Network& network() { return cluster_.network(); }
+  Node& borrower() { return cluster_.borrower(); }
+  Node& lender() { return cluster_.lender(); }
+  ctrl::NodeRegistry& registry() { return cluster_.registry(); }
+  ctrl::ControlPlane& control_plane() { return cluster_.control_plane(); }
+  /// The underlying N-node assembly (N = 2 here).
+  Cluster& cluster() { return cluster_; }
 
   /// Reserve spec.remote_gib at the lender and hot-plug it into the
   /// borrower.  Returns false when the FPGA attach handshake times out
   /// (extreme PERIOD; the Fig. 4 failure).
-  bool attach_remote();
-  bool remote_attached() const { return remote_base_.has_value(); }
-  mem::Addr remote_base() const { return remote_base_.value(); }
+  bool attach_remote() { return cluster_.attach_remote(); }
+  bool remote_attached() const { return cluster_.remote_attached(); }
+  mem::Addr remote_base() const { return cluster_.remote_base(0); }
 
   /// Reconfigure the borrower NIC injector between runs.
-  void set_period(std::uint64_t period);
-  std::uint64_t period() const;
+  void set_period(std::uint64_t period) { cluster_.set_period(period); }
+  std::uint64_t period() const { return cluster_.period(); }
 
   /// A CPU context on the borrower (the node running the workloads).
   MemContext make_context(const CpuConfig& cfg, std::string name = "ctx") {
-    return MemContext(*borrower_, cfg, std::move(name));
+    return cluster_.make_context(cfg, std::move(name));
   }
 
   const TestbedSpec& spec() const { return spec_; }
 
  private:
   TestbedSpec spec_;
-  sim::Engine engine_;
-  net::Network network_;
-  std::unique_ptr<Node> borrower_;
-  std::unique_ptr<Node> lender_;
-  ctrl::NodeRegistry registry_;
-  std::uint32_t borrower_reg_ = 0;
-  std::uint32_t lender_reg_ = 0;
-  std::unique_ptr<ctrl::ControlPlane> cp_;
-  std::optional<mem::Addr> remote_base_;
+  Cluster cluster_;
 };
 
 }  // namespace tfsim::node

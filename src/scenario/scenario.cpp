@@ -1,0 +1,433 @@
+#include "scenario/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfsim::scenario {
+
+namespace {
+
+constexpr double kBytesPerGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Reject unknown keys so a typo in a scenario file is an error, not a
+/// silently-ignored setting.
+void check_keys(const Json& obj, const std::string& where,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw JsonError("scenario: unknown key \"" + key + "\" in " + where);
+    }
+  }
+}
+
+double get_double(const Json& obj, const char* key, double def) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_double() : def;
+}
+
+std::uint64_t get_uint(const Json& obj, const char* key, std::uint64_t def) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_uint() : def;
+}
+
+std::string get_string(const Json& obj, const char* key,
+                       const std::string& def) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_string() : def;
+}
+
+mem::DramConfig parse_dram(const Json& obj) {
+  check_keys(obj, "dram", {"capacity_gib", "bandwidth_gbyte", "latency_ns"});
+  mem::DramConfig cfg;
+  cfg.capacity_bytes = static_cast<std::uint64_t>(
+      get_double(obj, "capacity_gib",
+                 static_cast<double>(cfg.capacity_bytes) / kBytesPerGiB) *
+      kBytesPerGiB);
+  cfg.bus_bandwidth = sim::Bandwidth::from_gbyte(
+      get_double(obj, "bandwidth_gbyte", cfg.bus_bandwidth.gbyte_per_sec()));
+  cfg.access_latency = sim::from_ns(
+      get_double(obj, "latency_ns", sim::to_ns(cfg.access_latency)));
+  return cfg;
+}
+
+nic::NicConfig parse_nic(const Json& obj) {
+  check_keys(obj, "nic",
+             {"window_entries", "latency_reserved_entries", "fpga_clock_mhz",
+              "period", "processing_ns"});
+  nic::NicConfig cfg;
+  cfg.window_entries =
+      static_cast<std::uint32_t>(get_uint(obj, "window_entries", cfg.window_entries));
+  cfg.latency_reserved_entries = static_cast<std::uint32_t>(
+      get_uint(obj, "latency_reserved_entries", cfg.latency_reserved_entries));
+  cfg.fpga_clock_hz =
+      get_double(obj, "fpga_clock_mhz", cfg.fpga_clock_hz / 1e6) * 1e6;
+  cfg.period = get_uint(obj, "period", cfg.period);
+  cfg.processing_latency = sim::from_ns(
+      get_double(obj, "processing_ns", sim::to_ns(cfg.processing_latency)));
+  return cfg;
+}
+
+net::LinkConfig parse_link(const Json& obj, const std::string& where) {
+  check_keys(obj, where, {"bandwidth_gbit", "propagation_ns"});
+  net::LinkConfig cfg;
+  cfg.bandwidth = sim::Bandwidth::from_gbit(
+      get_double(obj, "bandwidth_gbit", cfg.bandwidth.gbit_per_sec()));
+  cfg.propagation = sim::from_ns(
+      get_double(obj, "propagation_ns", sim::to_ns(cfg.propagation)));
+  return cfg;
+}
+
+NodeDecl parse_node(const Json& obj) {
+  check_keys(obj, "node", {"name", "role", "count", "dram", "with_nic", "nic"});
+  NodeDecl decl;
+  decl.name = get_string(obj, "name", decl.name);
+  decl.role = parse_role(get_string(obj, "role", "lender"));
+  decl.count = static_cast<std::uint32_t>(get_uint(obj, "count", 1));
+  if (decl.count == 0) throw JsonError("scenario: node count must be >= 1");
+  if (const Json* d = obj.find("dram")) decl.dram = parse_dram(*d);
+  if (const Json* w = obj.find("with_nic")) decl.with_nic = w->as_bool();
+  if (const Json* n = obj.find("nic")) decl.nic = parse_nic(*n);
+  return decl;
+}
+
+Json dump_node(const NodeDecl& d) {
+  Json node = Json::object();
+  node.set("name", Json::string(d.name));
+  node.set("role", Json::string(to_string(d.role)));
+  node.set("count", Json::number(std::uint64_t{d.count}));
+  Json dram = Json::object();
+  dram.set("capacity_gib",
+           Json::number(static_cast<double>(d.dram.capacity_bytes) / kBytesPerGiB));
+  dram.set("bandwidth_gbyte", Json::number(d.dram.bus_bandwidth.gbyte_per_sec()));
+  dram.set("latency_ns", Json::number(sim::to_ns(d.dram.access_latency)));
+  node.set("dram", std::move(dram));
+  node.set("with_nic", Json::boolean(d.nic_enabled()));
+  Json nic = Json::object();
+  nic.set("window_entries", Json::number(std::uint64_t{d.nic.window_entries}));
+  nic.set("latency_reserved_entries",
+          Json::number(std::uint64_t{d.nic.latency_reserved_entries}));
+  nic.set("fpga_clock_mhz", Json::number(d.nic.fpga_clock_hz / 1e6));
+  nic.set("period", Json::number(d.nic.period));
+  nic.set("processing_ns", Json::number(sim::to_ns(d.nic.processing_latency)));
+  node.set("nic", std::move(nic));
+  return node;
+}
+
+Json dump_link(const net::LinkConfig& cfg) {
+  Json link = Json::object();
+  link.set("bandwidth_gbit", Json::number(cfg.bandwidth.gbit_per_sec()));
+  link.set("propagation_ns", Json::number(sim::to_ns(cfg.propagation)));
+  return link;
+}
+
+template <typename T>
+std::vector<T> parse_uint_array(const Json& arr) {
+  std::vector<T> out;
+  for (const auto& v : arr.items()) out.push_back(static_cast<T>(v.as_uint()));
+  return out;
+}
+
+template <typename T>
+Json dump_uint_array(const std::vector<T>& xs) {
+  Json arr = Json::array();
+  for (const T x : xs) arr.push(Json::number(std::uint64_t{x}));
+  return arr;
+}
+
+}  // namespace
+
+std::string to_string(Role role) {
+  return role == Role::kBorrower ? "borrower" : "lender";
+}
+
+Role parse_role(const std::string& name) {
+  if (name == "borrower") return Role::kBorrower;
+  if (name == "lender") return Role::kLender;
+  throw JsonError("scenario: unknown role \"" + name + "\"");
+}
+
+std::string to_string(TopologyKind kind) {
+  return kind == TopologyKind::kDirect ? "direct" : "dumbbell";
+}
+
+TopologyKind parse_topology_kind(const std::string& name) {
+  if (name == "direct") return TopologyKind::kDirect;
+  if (name == "dumbbell") return TopologyKind::kDumbbell;
+  throw JsonError("scenario: unknown topology kind \"" + name + "\"");
+}
+
+const NodeDecl* ScenarioSpec::find_node(const std::string& node_name) const {
+  for (const auto& n : nodes) {
+    if (n.name == node_name) return &n;
+  }
+  return nullptr;
+}
+
+std::uint32_t ScenarioSpec::expanded_node_count() const {
+  std::uint32_t total = 0;
+  for (const auto& n : nodes) total += n.count;
+  return total;
+}
+
+void ScenarioSpec::set_lender_count(std::uint32_t count) {
+  for (auto& n : nodes) {
+    if (n.role == Role::kLender) n.count = count;
+  }
+}
+
+void ScenarioSpec::set_borrower_count(std::uint32_t count) {
+  for (auto& n : nodes) {
+    if (n.role == Role::kBorrower) n.count = count;
+  }
+}
+
+ScenarioSpec from_json(const Json& doc) {
+  check_keys(doc, "scenario",
+             {"name", "description", "nodes", "topology", "injector", "policy",
+              "reservations", "workloads", "sweep"});
+  ScenarioSpec spec;
+  spec.name = get_string(doc, "name", spec.name);
+  spec.description = get_string(doc, "description", "");
+  spec.policy = get_string(doc, "policy", spec.policy);
+
+  const Json* nodes = doc.find("nodes");
+  if (nodes == nullptr || nodes->items().empty()) {
+    throw JsonError("scenario: \"nodes\" array is required and non-empty");
+  }
+  for (const auto& n : nodes->items()) spec.nodes.push_back(parse_node(n));
+
+  if (const Json* topo = doc.find("topology")) {
+    check_keys(*topo, "topology", {"kind", "link", "trunk"});
+    spec.topology.kind =
+        parse_topology_kind(get_string(*topo, "kind", "direct"));
+    if (const Json* l = topo->find("link")) {
+      spec.topology.link = parse_link(*l, "link");
+    }
+    if (const Json* t = topo->find("trunk")) {
+      spec.topology.trunk = parse_link(*t, "trunk");
+    }
+  }
+
+  if (const Json* inj = doc.find("injector")) {
+    check_keys(*inj, "injector", {"period", "distribution", "mean_us", "seed"});
+    spec.injector.period = get_uint(*inj, "period", 1);
+    const std::string dist = get_string(*inj, "distribution", "");
+    if (!dist.empty()) spec.injector.dist_kind = net::parse_dist_kind(dist);
+    spec.injector.dist_mean_us = get_double(*inj, "mean_us", 0.0);
+    spec.injector.dist_seed = get_uint(*inj, "seed", 42);
+  }
+
+  if (const Json* rs = doc.find("reservations")) {
+    for (const auto& r : rs->items()) {
+      check_keys(r, "reservation", {"borrower", "size_gib", "chunks", "name"});
+      ReservationSpec res;
+      res.borrower = get_string(r, "borrower", "");
+      res.size_gib = get_uint(r, "size_gib", res.size_gib);
+      res.chunks = static_cast<std::uint32_t>(get_uint(r, "chunks", 1));
+      if (res.chunks == 0) {
+        throw JsonError("scenario: reservation chunks must be >= 1");
+      }
+      res.name = get_string(r, "name", res.name);
+      spec.reservations.push_back(std::move(res));
+    }
+  }
+
+  if (const Json* ws = doc.find("workloads")) {
+    for (const auto& w : ws->items()) {
+      check_keys(w, "workload", {"kind", "placement"});
+      WorkloadSpec wl;
+      wl.kind = get_string(w, "kind", wl.kind);
+      wl.placement = get_string(w, "placement", wl.placement);
+      spec.workloads.push_back(std::move(wl));
+    }
+  }
+
+  if (const Json* sw = doc.find("sweep")) {
+    check_keys(*sw, "sweep", {"periods", "lenders", "borrowers", "instances"});
+    if (const Json* p = sw->find("periods")) {
+      spec.sweep.periods = parse_uint_array<std::uint64_t>(*p);
+    }
+    if (const Json* l = sw->find("lenders")) {
+      spec.sweep.lenders = parse_uint_array<std::uint32_t>(*l);
+    }
+    if (const Json* b = sw->find("borrowers")) {
+      spec.sweep.borrowers = parse_uint_array<std::uint32_t>(*b);
+    }
+    if (const Json* i = sw->find("instances")) {
+      spec.sweep.instances = parse_uint_array<std::uint32_t>(*i);
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec parse(const std::string& text) {
+  return from_json(Json::parse(text));
+}
+
+ScenarioSpec load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("scenario: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const JsonError& e) {
+    throw JsonError(path + ": " + e.what());
+  }
+}
+
+Json to_json(const ScenarioSpec& spec) {
+  Json doc = Json::object();
+  doc.set("name", Json::string(spec.name));
+  doc.set("description", Json::string(spec.description));
+  doc.set("policy", Json::string(spec.policy));
+
+  Json nodes = Json::array();
+  for (const auto& n : spec.nodes) nodes.push(dump_node(n));
+  doc.set("nodes", std::move(nodes));
+
+  Json topo = Json::object();
+  topo.set("kind", Json::string(to_string(spec.topology.kind)));
+  topo.set("link", dump_link(spec.topology.link));
+  topo.set("trunk", dump_link(spec.topology.trunk));
+  doc.set("topology", std::move(topo));
+
+  Json inj = Json::object();
+  inj.set("period", Json::number(spec.injector.period));
+  inj.set("distribution",
+          Json::string(spec.injector.dist_kind.has_value()
+                           ? net::to_string(*spec.injector.dist_kind)
+                           : ""));
+  inj.set("mean_us", Json::number(spec.injector.dist_mean_us));
+  inj.set("seed", Json::number(spec.injector.dist_seed));
+  doc.set("injector", std::move(inj));
+
+  Json rs = Json::array();
+  for (const auto& r : spec.reservations) {
+    Json res = Json::object();
+    res.set("borrower", Json::string(r.borrower));
+    res.set("size_gib", Json::number(r.size_gib));
+    res.set("chunks", Json::number(std::uint64_t{r.chunks}));
+    res.set("name", Json::string(r.name));
+    rs.push(std::move(res));
+  }
+  doc.set("reservations", std::move(rs));
+
+  Json ws = Json::array();
+  for (const auto& w : spec.workloads) {
+    Json wl = Json::object();
+    wl.set("kind", Json::string(w.kind));
+    wl.set("placement", Json::string(w.placement));
+    ws.push(std::move(wl));
+  }
+  doc.set("workloads", std::move(ws));
+
+  Json sw = Json::object();
+  sw.set("periods", dump_uint_array(spec.sweep.periods));
+  sw.set("lenders", dump_uint_array(spec.sweep.lenders));
+  sw.set("borrowers", dump_uint_array(spec.sweep.borrowers));
+  sw.set("instances", dump_uint_array(spec.sweep.instances));
+  doc.set("sweep", std::move(sw));
+  return doc;
+}
+
+std::string resolved_json(const ScenarioSpec& spec) {
+  return to_json(spec).dump() + "\n";
+}
+
+ScenarioSpec paper_two_node() {
+  ScenarioSpec spec;
+  spec.name = "paper-twonode";
+  spec.description =
+      "The paper's two-node ThymesisFlow prototype: one borrower, one "
+      "lender, 100 Gb/s point-to-point cable, 16 GiB borrowed";
+  NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = Role::kBorrower;
+  borrower.with_nic = true;
+  NodeDecl lender;
+  lender.name = "lender";
+  lender.role = Role::kLender;
+  lender.with_nic = false;
+  spec.nodes = {borrower, lender};
+  spec.reservations.push_back(ReservationSpec{});
+  spec.workloads.push_back(WorkloadSpec{});
+  return spec;
+}
+
+ScenarioSpec pooling_1xN(std::uint32_t lenders) {
+  ScenarioSpec spec;
+  spec.name = "pooling-1xN";
+  spec.description =
+      "One borrower pooling remote memory striped across N equal lenders "
+      "(most-free placement round-robins the chunks)";
+  NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = Role::kBorrower;
+  borrower.with_nic = true;
+  NodeDecl lender;
+  lender.name = "lender";
+  lender.role = Role::kLender;
+  lender.with_nic = false;
+  lender.count = lenders;
+  spec.nodes = {borrower, lender};
+  spec.policy = "most-free";
+  ReservationSpec res;
+  res.size_gib = 16;
+  res.chunks = lenders;
+  res.name = "pooled";
+  spec.reservations.push_back(res);
+  spec.workloads.push_back(WorkloadSpec{"flow", "remote"});
+  spec.sweep.lenders = {1, 2, 4, 8};
+  spec.sweep.periods = {1, 10, 100};
+  return spec;
+}
+
+ScenarioSpec shared_trunk(std::uint32_t borrowers) {
+  ScenarioSpec spec;
+  spec.name = "shared-trunk";
+  spec.description =
+      "M borrower-lender pairs on a two-switch dumbbell sharing one trunk "
+      "-- M:1 oversubscription, the congestion the paper emulates";
+  NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = Role::kBorrower;
+  borrower.with_nic = true;
+  borrower.count = borrowers;
+  NodeDecl lender;
+  lender.name = "lender";
+  lender.role = Role::kLender;
+  lender.with_nic = false;
+  lender.count = borrowers;
+  spec.nodes = {borrower, lender};
+  spec.topology.kind = TopologyKind::kDumbbell;
+  spec.policy = "most-free";
+  ReservationSpec res;
+  res.size_gib = 4;
+  res.name = "trunk-share";
+  spec.reservations.push_back(res);
+  spec.workloads.push_back(WorkloadSpec{"flow", "remote"});
+  spec.sweep.borrowers = {1, 2, 4, 8};
+  spec.sweep.periods = {1};
+  return spec;
+}
+
+std::optional<ScenarioSpec> builtin(const std::string& name) {
+  if (name == "paper_twonode") return paper_two_node();
+  if (name == "pooling_1xN") return pooling_1xN();
+  if (name == "trunk_contention") return shared_trunk();
+  return std::nullopt;
+}
+
+}  // namespace tfsim::scenario

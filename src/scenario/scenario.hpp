@@ -1,0 +1,150 @@
+// Declarative scenario layer: everything needed to assemble an N-node
+// disaggregation testbed as data instead of code.
+//
+// A ScenarioSpec names the nodes (roles, DRAM, NIC), the topology joining
+// them (direct full-mesh links or a two-switch dumbbell with a shared
+// trunk), the delay injector, the remote-memory reservations (with the
+// control-plane placement policy, and optional striping across lenders),
+// workload bindings, and sweep axes.  Specs are buildable programmatically
+// (the builders below) or loadable from a small JSON file under
+// scenarios/ -- the same config-driven approach rack-scale simulators such
+// as DRackSim and CXL-ClusterSim use to cover many cluster shapes without
+// baked-in topologies.  node::Cluster turns a spec into a live testbed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "net/latency_dist.hpp"
+#include "net/link.hpp"
+#include "nic/nic.hpp"
+#include "scenario/json.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::scenario {
+
+enum class Role { kBorrower, kLender };
+
+std::string to_string(Role role);
+Role parse_role(const std::string& name);
+
+/// One node *template*: `count` > 1 expands into count nodes named
+/// "<name>0".."<name>N-1" (a single node keeps the bare name).
+struct NodeDecl {
+  std::string name = "node";
+  Role role = Role::kLender;
+  std::uint32_t count = 1;
+  mem::DramConfig dram;  ///< AC922 defaults: 512 GiB, 140 GB/s, 95 ns
+  /// Borrower-capable (has the FPGA card).  Defaults from the role.
+  std::optional<bool> with_nic;
+  nic::NicConfig nic;  ///< window 129, 320 MHz, PERIOD 1
+
+  bool nic_enabled() const {
+    return with_nic.value_or(role == Role::kBorrower);
+  }
+};
+
+enum class TopologyKind {
+  kDirect,    ///< full-mesh borrower <-> lender point-to-point cables
+  kDumbbell,  ///< borrowers -- switchA == shared trunk == switchB -- lenders
+};
+
+std::string to_string(TopologyKind kind);
+TopologyKind parse_topology_kind(const std::string& name);
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kDirect;
+  net::LinkConfig link;   ///< direct cables / dumbbell edge hops
+  net::LinkConfig trunk;  ///< dumbbell only: the shared switch-switch hop
+};
+
+/// Delay-injection settings applied to every borrower NIC at build time.
+struct InjectorSpec {
+  std::uint64_t period = 1;  ///< PERIOD gate; 1 = vanilla ThymesisFlow
+  /// Distribution-mode injection (overrides `period` when set).
+  std::optional<net::DistKind> dist_kind;
+  double dist_mean_us = 0.0;
+  std::uint64_t dist_seed = 42;
+};
+
+/// One remote-memory reservation request.  `borrower` empty = applies to
+/// every borrower node.  `chunks` > 1 splits the size into equal chunks
+/// reserved one at a time through the placement policy -- with "most-free"
+/// and equally-sized lenders this stripes the region across lenders
+/// round-robin (interleaved 1-borrower-N-lender pooling).
+struct ReservationSpec {
+  std::string borrower;
+  std::uint64_t size_gib = 16;
+  std::uint32_t chunks = 1;
+  std::string name = "thymesisflow-borrowed";
+};
+
+/// A workload binding: which driver a scenario-driven bench should run on
+/// each borrower and where its arrays live.
+struct WorkloadSpec {
+  std::string kind = "stream";       ///< stream | bfs | sssp | redis | flow
+  std::string placement = "remote";  ///< local | remote | auto
+};
+
+/// Sweep axes a scenario can pin; empty = the bench's built-in default.
+struct SweepSpec {
+  std::vector<std::uint64_t> periods;
+  std::vector<std::uint32_t> lenders;    ///< lender-count axis (pooling)
+  std::vector<std::uint32_t> borrowers;  ///< borrower-count axis (trunk)
+  std::vector<std::uint32_t> instances;  ///< per-node workload instances
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description;
+  std::vector<NodeDecl> nodes;
+  TopologySpec topology;
+  InjectorSpec injector;
+  /// Control-plane lender-selection policy (ctrl::make_policy name).
+  std::string policy = "first-fit";
+  std::vector<ReservationSpec> reservations;
+  std::vector<WorkloadSpec> workloads;
+  SweepSpec sweep;
+
+  const NodeDecl* find_node(const std::string& name) const;
+  /// Total declared nodes after count-expansion.
+  std::uint32_t expanded_node_count() const;
+  /// Set the count of every lender-role (resp. borrower-role) declaration;
+  /// used by benches sweeping cluster size.
+  void set_lender_count(std::uint32_t count);
+  void set_borrower_count(std::uint32_t count);
+};
+
+// --- JSON (schema documented in DESIGN.md section 9) -----------------------
+
+/// Parse a scenario document; throws JsonError on syntax errors, unknown
+/// keys (so files cannot rot silently), or invalid values.
+ScenarioSpec from_json(const Json& doc);
+ScenarioSpec parse(const std::string& text);
+/// Load from a file; throws std::runtime_error when unreadable.
+ScenarioSpec load_file(const std::string& path);
+
+/// Serialize the *resolved* spec -- every field explicit, defaults filled
+/// in -- for provenance echoes next to result CSVs.  from_json(to_json(s))
+/// reproduces s exactly.
+Json to_json(const ScenarioSpec& spec);
+std::string resolved_json(const ScenarioSpec& spec);
+
+// --- built-in scenarios ----------------------------------------------------
+
+/// The paper's two-node ThymesisFlow prototype (== node::thymesisflow_testbed).
+ScenarioSpec paper_two_node();
+/// 1 borrower pooling memory from `lenders` equal lenders, reservation
+/// striped across all of them (most-free placement).
+ScenarioSpec pooling_1xN(std::uint32_t lenders = 4);
+/// `borrowers` borrower-lender pairs sharing one dumbbell trunk.
+ScenarioSpec shared_trunk(std::uint32_t borrowers = 4);
+
+/// Look up a built-in by its scenario file stem ("paper_twonode",
+/// "pooling_1xN", "trunk_contention"); nullopt when unknown.
+std::optional<ScenarioSpec> builtin(const std::string& name);
+
+}  // namespace tfsim::scenario

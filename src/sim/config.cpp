@@ -117,6 +117,18 @@ std::vector<std::int64_t> ArgParser::int_list(const std::string& name) const {
   return out;
 }
 
+std::vector<double> ArgParser::double_list(const std::string& name) const {
+  const auto& opt = lookup(name, Option::Kind::String);
+  const std::string raw = opt.value.value_or(opt.def);
+  std::vector<double> out;
+  std::istringstream is(raw);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  }
+  return out;
+}
+
 std::string ArgParser::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nOptions:\n";

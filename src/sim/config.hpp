@@ -36,6 +36,9 @@ class ArgParser {
   /// Comma-separated integer list option (e.g. --periods=1,10,100).
   std::vector<std::int64_t> int_list(const std::string& name) const;
 
+  /// Comma-separated double list option (e.g. --delays-us=0.5,1,2.5).
+  std::vector<double> double_list(const std::string& name) const;
+
   std::string usage() const;
 
  private:

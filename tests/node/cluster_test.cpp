@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "node/cluster.hpp"
+#include "node/testbed.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::node {
+namespace {
+
+TEST(ClusterTest, TwoNodeSpecMatchesTestbed) {
+  Cluster cluster(scenario::paper_two_node());
+  ASSERT_EQ(cluster.num_nodes(), 2u);
+  ASSERT_EQ(cluster.num_borrowers(), 1u);
+  ASSERT_EQ(cluster.num_lenders(), 1u);
+  EXPECT_EQ(cluster.borrower().name(), "borrower");
+  EXPECT_EQ(cluster.lender().name(), "lender");
+  EXPECT_TRUE(cluster.borrower().has_nic());
+  EXPECT_FALSE(cluster.lender().has_nic());
+  ASSERT_TRUE(cluster.attach_remote());
+
+  Testbed tb;
+  ASSERT_TRUE(tb.attach_remote());
+  EXPECT_EQ(cluster.remote_base(), tb.remote_base());
+  EXPECT_EQ(cluster.remote_span(), 16 * sim::kGiB);
+}
+
+TEST(ClusterTest, FindResolvesExpandedNames) {
+  Cluster cluster(scenario::pooling_1xN(4));
+  ASSERT_EQ(cluster.num_nodes(), 5u);
+  EXPECT_NE(cluster.find("borrower"), nullptr);
+  EXPECT_NE(cluster.find("lender0"), nullptr);
+  EXPECT_NE(cluster.find("lender3"), nullptr);
+  EXPECT_EQ(cluster.find("lender4"), nullptr);
+  EXPECT_EQ(cluster.find("lender"), nullptr) << "count>1 appends the index";
+}
+
+TEST(ClusterTest, ChunkedMostFreeStripesAcrossLenders) {
+  // 16 GiB in 4 chunks under most-free with equal lenders: each chunk must
+  // land on a different lender (round-robin pooling), and the attached
+  // window stays contiguous on the borrower.
+  Cluster cluster(scenario::pooling_1xN(4));
+  ASSERT_TRUE(cluster.attach_remote());
+  EXPECT_EQ(cluster.remote_span(), 16 * sim::kGiB);
+  std::set<std::uint64_t> lent;
+  for (std::size_t i = 0; i < cluster.num_lenders(); ++i) {
+    const auto& info =
+        cluster.registry().node(cluster.registry_id(cluster.lender(i)));
+    EXPECT_EQ(info.lent_out, 4 * sim::kGiB)
+        << "lender " << i << " should host exactly one 4 GiB chunk";
+    lent.insert(info.lent_out);
+  }
+  EXPECT_EQ(lent.size(), 1u) << "striping must be even";
+}
+
+TEST(ClusterTest, DumbbellPairsEveryBorrowerWithALender) {
+  scenario::ScenarioSpec spec = scenario::shared_trunk(4);
+  Cluster cluster(spec);
+  ASSERT_EQ(cluster.num_borrowers(), 4u);
+  ASSERT_EQ(cluster.num_lenders(), 4u);
+  ASSERT_TRUE(cluster.attach_remote());
+  for (std::size_t i = 0; i < cluster.num_borrowers(); ++i) {
+    EXPECT_GT(cluster.remote_span(i), 0u) << "borrower " << i;
+    const auto& info =
+        cluster.registry().node(cluster.registry_id(cluster.lender(i)));
+    EXPECT_GT(info.lent_out, 0u)
+        << "most-free must spread the pairs round-robin";
+  }
+}
+
+TEST(ClusterTest, SetPeriodReachesEveryBorrowerNic) {
+  Cluster cluster(scenario::shared_trunk(2));
+  cluster.set_period(64);
+  EXPECT_EQ(cluster.period(), 64u);
+  for (std::size_t i = 0; i < cluster.num_borrowers(); ++i) {
+    EXPECT_EQ(cluster.borrower(i).nic().period(), 64u) << "borrower " << i;
+  }
+}
+
+// Regression for the Fig. 4 reliability cliff through the Cluster path:
+// the hot-plug handshake must still time out at extreme PERIOD when the
+// testbed is assembled from a scenario instead of the legacy wiring.
+TEST(ClusterTest, AttachTimesOutAtExtremePeriod) {
+  scenario::ScenarioSpec dead = scenario::paper_two_node();
+  dead.injector.period = 10000;
+  Cluster lost(dead);
+  EXPECT_FALSE(lost.attach_remote());
+  EXPECT_FALSE(lost.remote_attached());
+
+  scenario::ScenarioSpec slow = scenario::paper_two_node();
+  slow.injector.period = 1000;
+  Cluster ok(slow);
+  EXPECT_TRUE(ok.attach_remote());
+
+  // Same cliff through the thin Testbed wrapper.
+  TestbedSpec spec = thymesisflow_testbed();
+  spec.borrower.nic.period = 10000;
+  Testbed tb(spec);
+  EXPECT_FALSE(tb.attach_remote());
+}
+
+}  // namespace
+}  // namespace tfsim::node

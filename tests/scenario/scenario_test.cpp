@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "node/testbed.hpp"
+#include "scenario/json.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::scenario {
+namespace {
+
+// --- built-ins ---------------------------------------------------------
+
+TEST(ScenarioBuiltinTest, LookupByFileStem) {
+  EXPECT_TRUE(builtin("paper_twonode").has_value());
+  EXPECT_TRUE(builtin("pooling_1xN").has_value());
+  EXPECT_TRUE(builtin("trunk_contention").has_value());
+  EXPECT_FALSE(builtin("no-such-scenario").has_value());
+}
+
+TEST(ScenarioBuiltinTest, PaperTwoNodeMatchesTestbedDefaults) {
+  const ScenarioSpec spec = paper_two_node();
+  ASSERT_EQ(spec.nodes.size(), 2u);
+  EXPECT_EQ(spec.nodes[0].role, Role::kBorrower);
+  EXPECT_EQ(spec.nodes[1].role, Role::kLender);
+  EXPECT_TRUE(spec.nodes[0].nic_enabled());
+  EXPECT_FALSE(spec.nodes[1].nic_enabled());
+  ASSERT_EQ(spec.reservations.size(), 1u);
+  EXPECT_EQ(spec.reservations[0].name, "thymesisflow-borrowed");
+
+  // Round-trips through the legacy TestbedSpec without loss.
+  const node::TestbedSpec tb = node::to_testbed_spec(spec);
+  const node::TestbedSpec ref = node::thymesisflow_testbed();
+  EXPECT_EQ(tb.remote_gib, ref.remote_gib);
+  EXPECT_EQ(tb.borrower.dram.capacity_bytes, ref.borrower.dram.capacity_bytes);
+  EXPECT_EQ(tb.borrower.nic.window_entries, ref.borrower.nic.window_entries);
+
+  // Apart from naming and workload bindings (which only scenario-driven
+  // benches consume), the shim's scenario is the built-in.
+  ScenarioSpec shim = node::to_scenario(tb);
+  shim.name = spec.name;
+  shim.description = spec.description;
+  shim.workloads = spec.workloads;
+  EXPECT_EQ(resolved_json(shim), resolved_json(spec));
+}
+
+TEST(ScenarioBuiltinTest, CountExpansionAndOverrides) {
+  ScenarioSpec spec = pooling_1xN(4);
+  EXPECT_EQ(spec.expanded_node_count(), 5u);  // 1 borrower + 4 lenders
+  spec.set_lender_count(8);
+  EXPECT_EQ(spec.expanded_node_count(), 9u);
+  spec.set_borrower_count(2);
+  EXPECT_EQ(spec.expanded_node_count(), 10u);
+}
+
+// --- JSON parse / serialize --------------------------------------------
+
+TEST(ScenarioJsonTest, ResolvedJsonRoundTripsExactly) {
+  for (const char* name : {"paper_twonode", "pooling_1xN", "trunk_contention"}) {
+    const ScenarioSpec spec = *builtin(name);
+    const std::string dumped = resolved_json(spec);
+    EXPECT_EQ(resolved_json(parse(dumped)), dumped) << name;
+  }
+}
+
+TEST(ScenarioJsonTest, UnitsBearingKeysParse) {
+  const ScenarioSpec spec = parse(R"({
+    "name": "mini",
+    "policy": "most-free",
+    "nodes": [
+      {"name": "b", "role": "borrower",
+       "dram": {"capacity_gib": 2, "bandwidth_gbyte": 70, "latency_ns": 50},
+       "nic": {"window_entries": 64, "period": 8}},
+      {"name": "l", "role": "lender", "count": 3}
+    ],
+    "topology": {"kind": "dumbbell",
+                 "trunk": {"bandwidth_gbit": 50, "propagation_ns": 600}},
+    "injector": {"period": 16},
+    "reservations": [{"size_gib": 1, "chunks": 3, "name": "r"}],
+    "sweep": {"periods": [1, 100]}
+  })");
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.policy, "most-free");
+  ASSERT_EQ(spec.nodes.size(), 2u);
+  EXPECT_EQ(spec.nodes[0].dram.capacity_bytes, 2 * sim::kGiB);
+  EXPECT_DOUBLE_EQ(spec.nodes[0].dram.bus_bandwidth.gbyte_per_sec(), 70.0);
+  EXPECT_EQ(spec.nodes[0].dram.access_latency, sim::from_ns(50.0));
+  EXPECT_EQ(spec.nodes[0].nic.window_entries, 64u);
+  EXPECT_EQ(spec.nodes[0].nic.period, 8u);
+  EXPECT_EQ(spec.nodes[1].count, 3u);
+  EXPECT_FALSE(spec.nodes[1].nic_enabled()) << "lender default: no NIC";
+  EXPECT_EQ(spec.topology.kind, TopologyKind::kDumbbell);
+  EXPECT_DOUBLE_EQ(spec.topology.trunk.bandwidth.gbit_per_sec(), 50.0);
+  EXPECT_EQ(spec.topology.trunk.propagation, sim::from_ns(600.0));
+  EXPECT_EQ(spec.injector.period, 16u);
+  ASSERT_EQ(spec.reservations.size(), 1u);
+  EXPECT_EQ(spec.reservations[0].chunks, 3u);
+  EXPECT_EQ(spec.sweep.periods, (std::vector<std::uint64_t>{1, 100}));
+}
+
+TEST(ScenarioJsonTest, UnknownKeysRejected) {
+  EXPECT_THROW(parse(R"({"name": "x", "bogus": 1})"), JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b", "typo_role": "borrower"}]})"),
+               JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "topology": {"link": {"bandwidth_mbit": 1}}})"),
+               JsonError);
+}
+
+TEST(ScenarioJsonTest, InvalidValuesRejected) {
+  EXPECT_THROW(parse(R"({"nodes": [{"role": "overlord"}]})"), JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "topology": {"kind": "ring"}})"),
+               JsonError);
+  EXPECT_THROW(parse("{"), JsonError);            // truncated document
+  EXPECT_THROW(parse(R"({"name": 42})"), JsonError);  // kind mismatch
+}
+
+}  // namespace
+}  // namespace tfsim::scenario

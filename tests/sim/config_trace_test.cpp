@@ -61,6 +61,25 @@ TEST(ArgParserTest, DefaultListUsedWhenAbsent) {
   EXPECT_EQ(p.int_list("list"), (std::vector<std::int64_t>{1, 2, 3}));
 }
 
+TEST(ArgParserTest, DoubleListParsing) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--list=0.5,2,12.25"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_EQ(p.double_list("list"), (std::vector<double>{0.5, 2.0, 12.25}));
+}
+
+TEST(ArgParserTest, DoubleListDefaultAndEmptyEntries) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.double_list("list"), (std::vector<double>{1.0, 2.0, 3.0}));
+
+  auto q = make_parser();
+  const char* argv2[] = {"prog", "--list=,1.5,,2.5,"};
+  ASSERT_TRUE(q.parse(2, argv2));
+  EXPECT_EQ(q.double_list("list"), (std::vector<double>{1.5, 2.5}));
+}
+
 TEST(ArgParserTest, UnknownOptionRejected) {
   auto p = make_parser();
   const char* argv[] = {"prog", "--bogus=1"};

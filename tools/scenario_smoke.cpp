@@ -1,0 +1,93 @@
+// Scenario smoke check: load every scenario file, verify the JSON
+// round-trips exactly, build the cluster, attach the remote memory, and
+// push a short burst of traffic through every borrower NIC.
+//
+// CI runs this over each checked-in scenarios/*.json so a file that rots
+// (schema drift, typo'd key, unbuildable topology) fails the build, not
+// the first user who tries it.  `--dump <name>` prints a built-in spec as
+// resolved JSON -- the checked-in files are generated this way, so file
+// and builder can never disagree.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "node/cluster.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/units.hpp"
+#include "workloads/stream/stream_flow.hpp"
+
+using namespace tfsim;
+
+namespace {
+
+bool smoke(const std::string& name) {
+  const scenario::ScenarioSpec spec = bench::load_scenario(name);
+
+  // Round-trip: the resolved dump must parse back to an identical dump.
+  const std::string dumped = scenario::resolved_json(spec);
+  if (scenario::resolved_json(scenario::parse(dumped)) != dumped) {
+    std::fprintf(stderr, "[%s] FAIL: resolved JSON does not round-trip\n",
+                 name.c_str());
+    return false;
+  }
+
+  node::Cluster cluster(spec);
+  if (!cluster.attach_remote()) {
+    std::fprintf(stderr, "[%s] FAIL: attach_remote\n", name.c_str());
+    return false;
+  }
+
+  // A short closed-loop flow per borrower: exercises the NIC pipeline,
+  // the fabric (trunk routes included), and every striped chunk mapping.
+  const sim::Time stop = sim::from_us(200.0);
+  std::vector<std::unique_ptr<workloads::RemoteStreamFlow>> flows;
+  for (std::size_t i = 0; i < cluster.num_borrowers(); ++i) {
+    workloads::FlowConfig cfg;
+    cfg.concurrency = 32;
+    cfg.base = cluster.remote_base(i);
+    cfg.span_bytes = cluster.remote_span(i);
+    cfg.stop_at = stop;
+    flows.push_back(std::make_unique<workloads::RemoteStreamFlow>(
+        cluster.engine(), cluster.borrower(i).nic(), cfg));
+  }
+  for (auto& f : flows) f->start();
+  cluster.engine().run();
+
+  std::uint64_t lines = 0;
+  for (const auto& f : flows) lines += f->stats().lines_completed;
+  if (lines == 0) {
+    std::fprintf(stderr, "[%s] FAIL: no traffic completed\n", name.c_str());
+    return false;
+  }
+  std::printf("[%s] OK: %zu node(s), %zu borrower(s), %zu lender(s), "
+              "%llu lines in %.0f us\n",
+              name.c_str(), cluster.num_nodes(), cluster.num_borrowers(),
+              cluster.num_lenders(), static_cast<unsigned long long>(lines),
+              sim::to_us(stop));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--dump") == 0) {
+    const auto spec = scenario::builtin(argv[2]);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "unknown built-in scenario: %s\n", argv[2]);
+      return 2;
+    }
+    std::fputs(scenario::resolved_json(*spec).c_str(), stdout);
+    return 0;
+  }
+
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) {
+    names = {"paper_twonode", "pooling_1xN", "trunk_contention"};
+  }
+  bool ok = true;
+  for (const auto& n : names) ok = smoke(n) && ok;
+  return ok ? 0 : 1;
+}
