@@ -117,6 +117,14 @@ class WireChecker final : public Module {
   WireChecker(std::string name, Wire& wire, ViolationSink& sink);
 
   void tick(std::uint64_t cycle) override;
+  /// Pure observer: frozen wires with nothing firing make its tick a no-op,
+  /// so quiescent gaps may be fast-forwarded past it.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  std::uint64_t next_activity(std::uint64_t /*next*/) const override {
+    return kIdle;
+  }
   /// End-of-test framing assertion: a packet opened with TLAST=0 must have
   /// been closed.  Called by Testbench::finish_checks().
   void finish(std::uint64_t cycle);
@@ -145,6 +153,14 @@ class FlowChecker final : public Module {
               std::vector<const Wire*> exits, ViolationSink& sink);
 
   void tick(std::uint64_t cycle) override;
+  /// Pure observer, like WireChecker: the scoreboard only moves on fires,
+  /// and gaps never contain one.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  std::uint64_t next_activity(std::uint64_t /*next*/) const override {
+    return kIdle;
+  }
   /// End-of-test conservation assertion: at most `allowed_in_flight` beats
   /// may remain buffered inside the region (e.g. FIFO capacity); anything
   /// beyond that was dropped.  Called by Testbench::finish_checks() with

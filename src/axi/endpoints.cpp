@@ -10,7 +10,19 @@ Source::Source(std::string name, Wire& out, Config cfg)
 Source::Source(std::string name, Wire& out)
     : Source(std::move(name), out, Config{}) {}
 
-void Source::push(const Beat& beat) { queue_.push_back(beat); }
+void Source::push(const Beat& beat) {
+  queue_.push_back(beat);
+  request_wake();
+}
+
+std::uint64_t Source::next_activity(std::uint64_t next) const {
+  if (out_.fire()) return next;   // beat consumed: offer the next one
+  if (out_.valid()) return kIdle; // held offer: VALID pinned, no coin flips
+  if (!deterministic_offer()) return next;  // per-cycle coin flips
+  if (cfg_.valid_probability <= 0.0) return kIdle;  // never offers
+  // p >= 1: the offer is pinned true; only an empty queue keeps VALID low.
+  return has_beat() ? next : kIdle;
+}
 
 Beat Source::front_beat() const {
   if (!queue_.empty()) return queue_.front();
@@ -50,6 +62,13 @@ Sink::Sink(std::string name, Wire& in, Config cfg)
 Sink::Sink(std::string name, Wire& in) : Sink(std::move(name), in, Config{}) {}
 
 void Sink::eval() { in_.set_ready(accept_); }
+
+std::uint64_t Sink::next_activity(std::uint64_t next) const {
+  if (in_.fire()) return next;
+  const bool deterministic =
+      cfg_.ready_probability >= 1.0 || cfg_.ready_probability <= 0.0;
+  return deterministic ? kIdle : next;
+}
 
 void Sink::tick(std::uint64_t cycle) {
   if (in_.fire()) {

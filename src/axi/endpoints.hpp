@@ -30,17 +30,34 @@ class Source final : public Module {
   Source(std::string name, Wire& out, Config cfg);
   Source(std::string name, Wire& out);
 
-  /// Enqueue an explicit beat (used when not saturating).
+  /// Enqueue an explicit beat (used when not saturating).  Wakes the
+  /// scheduler: a source that went idle becomes active again.
   void push(const Beat& beat);
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  /// eval() reads no wires: VALID/payload are pure functions of the queue
+  /// and the offer coin flip.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  /// Idle while an un-accepted offer is held (AXI pins VALID, so no coin
+  /// flips happen) and, for a deterministic valid-probability, while there
+  /// is nothing to send.  A probabilistic source re-flips every cycle it is
+  /// not mid-offer and therefore never permits a fast-forward: the flips
+  /// consume RNG state the naive loop would also consume.  With p >= 1 or
+  /// p <= 0 every flip lands the same way regardless of the draw, so
+  /// skipping the draws is trace-equivalent.
+  std::uint64_t next_activity(std::uint64_t next) const override;
 
   std::uint64_t emitted() const { return emitted_; }
   bool idle() const { return !cfg_.saturate && queue_.empty(); }
 
  private:
   bool has_beat() const { return cfg_.saturate || !queue_.empty(); }
+  bool deterministic_offer() const {
+    return cfg_.valid_probability >= 1.0 || cfg_.valid_probability <= 0.0;
+  }
   Beat front_beat() const;
 
   Wire& out_;
@@ -67,6 +84,13 @@ class Sink final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  /// A probabilistic sink re-flips READY every cycle (consuming RNG state),
+  /// so it is active every cycle; a deterministic one (p >= 1 or p <= 0)
+  /// pins READY and is idle while nothing fires.
+  std::uint64_t next_activity(std::uint64_t next) const override;
 
   struct Arrival {
     std::uint64_t cycle;

@@ -19,6 +19,15 @@ class Fifo final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  /// eval() reads no wires: READY/VALID are pure functions of occupancy.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  /// Occupancy only changes on a handshake; a FIFO with nothing firing is
+  /// idle until an input wire changes.
+  std::uint64_t next_activity(std::uint64_t next) const override {
+    return (in_.fire() || out_.fire()) ? next : kIdle;
+  }
 
   std::size_t depth() const { return depth_; }
   std::size_t size() const { return data_.size(); }
@@ -45,6 +54,12 @@ class RegisterSlice final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  std::uint64_t next_activity(std::uint64_t next) const override {
+    return (in_.fire() || out_.fire()) ? next : kIdle;
+  }
 
   bool full() const { return full_; }
 

@@ -1,23 +1,51 @@
 // Base class for cycle-level AXI4-Stream modules.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace tfsim::axi {
 
 class ViolationSink;  // checker.hpp
 enum class ViolationKind;
+class Wire;  // stream.hpp
+
+/// Scheduling hooks a module reports into; implemented by Testbench.  Lets
+/// modules request re-evaluation after an out-of-band state change
+/// (RateGate::set_period, Source::push) without module.hpp depending on
+/// testbench.hpp.
+class ModuleScheduler {
+ public:
+  virtual void wake_module(std::size_t module_index) = 0;
+
+ protected:
+  ~ModuleScheduler() = default;
+};
 
 /// A clocked hardware block.  Each simulated cycle the testbench:
-///   1. calls eval() on all modules repeatedly until no wire changes
-///      (combinational settle), then
+///   1. calls eval() on modules until no wire changes (combinational
+///      settle; the activity scheduler visits only modules whose declared
+///      inputs changed or whose next_activity() horizon arrived), then
 ///   2. calls tick(cycle) once on each module (clock edge: state update).
 ///
-/// eval() must be idempotent for fixed inputs; tick() observes the settled
-/// wires (e.g. fire()) and updates registers.
+/// eval() must be idempotent for fixed inputs, must read only the wires
+/// declared by inputs() (plus the module's own registers), and must not
+/// mutate registers; tick() observes the settled wires (e.g. fire()) and
+/// updates registers.  The scheduler contract (inputs / next_activity /
+/// advance) has conservative defaults: a module that overrides none of them
+/// is re-evaluated on every wire change and stepped every cycle, exactly as
+/// the naive exhaustive loop would.
 class Module {
  public:
+  /// next_activity() return value meaning "only an input-wire change can
+  /// affect this module" -- it is never due on its own.
+  static constexpr std::uint64_t kIdle =
+      std::numeric_limits<std::uint64_t>::max();
+
   explicit Module(std::string name) : name_(std::move(name)) {}
   virtual ~Module();
   Module(const Module&) = delete;
@@ -28,6 +56,34 @@ class Module {
   /// Sequential phase: clock edge at cycle `cycle`.
   virtual void tick(std::uint64_t cycle) = 0;
 
+  /// Sensitivity list: the wires eval() reads.  std::nullopt (the default)
+  /// means "unknown" and the module is treated as sensitive to every wire;
+  /// an empty vector means eval() reads no wires at all (pure state-driven
+  /// drivers like Source, or tick-only observers like Monitor).
+  virtual std::optional<std::vector<const Wire*>> inputs() const {
+    return std::nullopt;
+  }
+
+  /// Activity horizon, queried after every tick with `next` = the next cycle
+  /// to be simulated.  Return the earliest cycle >= next at which this
+  /// module's eval() could drive different wire values or its tick() could
+  /// change state, assuming (a) no wire changes in the meantime and (b) no
+  /// handshake fires in the meantime (the testbench never fast-forwards
+  /// across a firing wire).  Return kIdle when only an input change can
+  /// affect the module.  Returning `next` pins the module active every
+  /// cycle -- the safe default.
+  virtual std::uint64_t next_activity(std::uint64_t next) const {
+    return next;
+  }
+
+  /// Fast-forward across `cycles` provably quiescent cycles.  Called by
+  /// Testbench::run() instead of that many tick()s, only when every module's
+  /// next_activity() horizon is beyond the gap and no wire fires: wires are
+  /// frozen for the whole gap.  Implementations must leave the module in
+  /// exactly the state `cycles` consecutive tick()s would have (RateGate
+  /// advances COUNTER and its stall tally; most modules have nothing to do).
+  virtual void advance(std::uint64_t cycles) { (void)cycles; }
+
   const std::string& name() const { return name_; }
 
   /// Attach the testbench's violation sink.  Self-checking modules
@@ -36,6 +92,12 @@ class Module {
   /// Testbench::add().
   void attach_sink(ViolationSink* sink) { sink_ = sink; }
 
+  /// Attach the owning testbench's scheduler.  Done by Testbench::add().
+  void attach_scheduler(ModuleScheduler* scheduler, std::size_t index) {
+    scheduler_ = scheduler;
+    scheduler_index_ = index;
+  }
+
  protected:
   ViolationSink* sink() const { return sink_; }
   /// Report a violation into the attached sink (no-op when detached).
@@ -43,9 +105,18 @@ class Module {
   void report_violation(ViolationKind kind, std::uint64_t cycle,
                         const std::string& detail) const;
 
+  /// Request re-evaluation at the next settle and invalidate any cached
+  /// activity horizon.  Call after an out-of-band state change that eval()
+  /// or next_activity() depends on (reconfiguration, queued stimulus).
+  void request_wake() {
+    if (scheduler_ != nullptr) scheduler_->wake_module(scheduler_index_);
+  }
+
  private:
   std::string name_;
   ViolationSink* sink_ = nullptr;
+  ModuleScheduler* scheduler_ = nullptr;
+  std::size_t scheduler_index_ = 0;
 };
 
 }  // namespace tfsim::axi

@@ -23,6 +23,15 @@ class Monitor final : public Module {
   Monitor(std::string name, Wire& wire, bool check_id_order = false);
 
   void tick(std::uint64_t cycle) override;
+  /// Pure observer: no eval(), and a quiescent gap (frozen wires, nothing
+  /// firing) is a sequence of no-op ticks, so fast-forwarding cannot change
+  /// any count or gap statistic.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  std::uint64_t next_activity(std::uint64_t /*next*/) const override {
+    return kIdle;
+  }
 
   std::uint64_t fires() const { return fires_; }
   const std::vector<std::string>& violations() const { return violations_; }

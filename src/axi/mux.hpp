@@ -18,6 +18,22 @@ class RoundRobinMux final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  /// eval() reads every input's VALID/payload and the output's READY.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    std::vector<const Wire*> ins(inputs_.begin(), inputs_.end());
+    ins.push_back(&out_);
+    return ins;
+  }
+  /// Arbiter state (rr_, the held grant) only changes when a handshake
+  /// fires or a wire moves; with frozen wires and nothing firing the grant
+  /// is stable, so the mux is idle.
+  std::uint64_t next_activity(std::uint64_t next) const override {
+    if (out_.fire()) return next;
+    for (const Wire* w : inputs_) {
+      if (w->fire()) return next;
+    }
+    return kIdle;
+  }
 
   std::size_t fan_in() const { return inputs_.size(); }
   /// Beats forwarded from input i.

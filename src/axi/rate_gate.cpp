@@ -1,5 +1,6 @@
 #include "axi/rate_gate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "axi/checker.hpp"
@@ -18,6 +19,34 @@ void RateGate::set_period(std::uint64_t period) {
     throw std::invalid_argument("RateGate: PERIOD must be >= 1");
   }
   period_ = period;
+  // The window schedule changed out of band: re-evaluate at the next settle
+  // and recompute the activity horizon.
+  request_wake();
+}
+
+std::uint64_t RateGate::next_activity(std::uint64_t next) const {
+  // Queried post-tick, so counter_ is the COUNTER value eval() will see at
+  // cycle `next`.
+  if (in_.fire() || out_.fire()) return next;  // beat in flight: step it
+  if (offering_) return kIdle;  // window pinned open until the offer lands
+  if (period_ == 1) return kIdle;  // window always open: outputs track inputs
+  if (!in_.valid() && !out_.ready()) {
+    return kIdle;  // both gate outputs are low regardless of the window
+  }
+  // `open` flips at COUNTER % PERIOD == 0 (opens) and == 1 (closes); the
+  // earliest flip is when the gate's outputs next change.
+  const std::uint64_t phase = counter_ % period_;
+  const std::uint64_t to_open = (period_ - phase) % period_;
+  const std::uint64_t to_close = (period_ + 1 - phase) % period_;
+  return next + std::min(to_open, to_close);
+}
+
+void RateGate::advance(std::uint64_t cycles) {
+  // Replays `cycles` ticks in which nothing fired and the wires were
+  // frozen: COUNTER keeps counting FPGA cycles and the stall tally keeps
+  // accruing while upstream VALID waits on the closed window.
+  counter_ += cycles;
+  if (in_.valid() && !in_.ready()) stalled_cycles_ += cycles;
 }
 
 void RateGate::eval() {

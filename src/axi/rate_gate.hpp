@@ -26,6 +26,18 @@ class RateGate final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  /// eval() reads in_ (VALID, payload) and out_ (READY).
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{&in_, &out_};
+  }
+  /// The next cycle at which the Eq. 1 window (COUNTER % PERIOD == 0) flips
+  /// the gate's outputs; kIdle while the window state cannot be observed
+  /// (no upstream VALID and no downstream READY) or is pinned open by a
+  /// held offer.  This horizon is what lets run() jump over the closed
+  /// window in one step at high PERIOD.
+  std::uint64_t next_activity(std::uint64_t next) const override;
+  /// Fast-forward COUNTER and the stall tally across a quiescent gap.
+  void advance(std::uint64_t cycles) override;
 
   std::uint64_t period() const { return period_; }
   /// Reconfigure the injection period (takes effect next cycle).

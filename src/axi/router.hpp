@@ -17,6 +17,17 @@ class Router final : public Module {
 
   void eval() override;
   void tick(std::uint64_t cycle) override;
+  /// eval() reads in_ (VALID, TDEST, payload) and every output's READY.
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    std::vector<const Wire*> ins{&in_};
+    ins.insert(ins.end(), outputs_.begin(), outputs_.end());
+    return ins;
+  }
+  /// Routing is stateless combinational logic: only wire changes (or a
+  /// fire, which updates the transfer counters) matter.
+  std::uint64_t next_activity(std::uint64_t next) const override {
+    return in_.fire() ? next : kIdle;
+  }
 
   /// Beats forwarded to output i.
   std::uint64_t transfers(std::size_t i) const { return transfers_.at(i); }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tfsim::axi {
 
@@ -25,9 +26,45 @@ struct Beat {
   friend bool operator==(const Beat&, const Beat&) = default;
 };
 
+/// Dirty-wire set: records which wires changed since the owning testbench
+/// last drained it.  The testbench assigns every wire an index at creation;
+/// Wire::set_* enqueues the index at most once per drain interval (a per-wire
+/// queued flag deduplicates).  The activity-driven scheduler seeds its settle
+/// worklist from this set instead of sweeping every module to convergence.
+/// Lives here (not in testbench.hpp) so Wire stays dependency-free.
+class WireChangeLog {
+ public:
+  /// Register one more wire; returns its index.
+  std::uint32_t add_wire() {
+    queued_.push_back(0);
+    return static_cast<std::uint32_t>(queued_.size() - 1);
+  }
+
+  void notify(std::uint32_t index) {
+    if (queued_[index] == 0) {
+      queued_[index] = 1;
+      changed_.push_back(index);
+    }
+  }
+
+  bool empty() const { return changed_.empty(); }
+  /// Indices of wires changed since the last clear(), in first-change order.
+  const std::vector<std::uint32_t>& changed() const { return changed_; }
+
+  void clear() {
+    for (const std::uint32_t i : changed_) queued_[i] = 0;
+    changed_.clear();
+  }
+
+ private:
+  std::vector<std::uint8_t> queued_;  ///< per-wire: already in changed_?
+  std::vector<std::uint32_t> changed_;
+};
+
 /// A VALID/READY/payload wire bundle between two modules.  Combinational
-/// updates flow through set_* which mark the owning testbench dirty so the
-/// eval loop reaches a fixpoint.
+/// updates flow through set_* which record the wire in the owning
+/// testbench's WireChangeLog, so the settle loop re-evaluates exactly the
+/// modules whose inputs changed.
 class Wire {
  public:
   bool valid() const { return valid_; }
@@ -55,19 +92,26 @@ class Wire {
     }
   }
 
-  /// Installed by the testbench; tracks combinational convergence.
-  void attach_dirty_flag(bool* dirty) { dirty_ = dirty; }
+  /// Installed by the owning testbench: change notifications drive the
+  /// sensitivity-list scheduler (and combinational-convergence detection).
+  void attach_change_log(WireChangeLog* log, std::uint32_t index) {
+    log_ = log;
+    index_ = index;
+  }
+  const WireChangeLog* change_log() const { return log_; }
+  std::uint32_t index() const { return index_; }
 
   std::string label;  ///< for monitor/error messages
 
  private:
   void mark_dirty() {
-    if (dirty_ != nullptr) *dirty_ = true;
+    if (log_ != nullptr) log_->notify(index_);
   }
   bool valid_ = false;
   bool ready_ = false;
   Beat beat_{};
-  bool* dirty_ = nullptr;
+  WireChangeLog* log_ = nullptr;
+  std::uint32_t index_ = 0;
 };
 
 }  // namespace tfsim::axi

@@ -1,0 +1,67 @@
+#include "axi/trace.hpp"
+
+#include <sstream>
+
+namespace tfsim::axi {
+
+CycleTraceRecorder::CycleTraceRecorder(std::string name,
+                                       std::vector<const Wire*> wires)
+    : Module(std::move(name)), wires_(std::move(wires)) {}
+
+void CycleTraceRecorder::tick(std::uint64_t /*cycle*/) {
+  for (const Wire* w : wires_) {
+    samples_.push_back(Sample{w->valid(), w->ready(), w->beat()});
+  }
+  ++cycles_;
+}
+
+void CycleTraceRecorder::advance(std::uint64_t cycles) {
+  if (cycles_ == 0) return;  // nothing recorded yet: nothing to replicate
+  const std::size_t stride = wires_.size();
+  const std::size_t last_row = (cycles_ - 1) * stride;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (std::size_t w = 0; w < stride; ++w) {
+      samples_.push_back(samples_[last_row + w]);
+    }
+    ++cycles_;
+  }
+}
+
+namespace {
+
+std::string sample_repr(const CycleTraceRecorder::Sample& s) {
+  std::ostringstream os;
+  os << "V=" << s.valid << " R=" << s.ready << " {id=" << s.beat.id
+     << " dest=" << s.beat.dest << " user=" << s.beat.user
+     << " last=" << s.beat.last << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string CycleTraceRecorder::diff(const CycleTraceRecorder& a,
+                                     const CycleTraceRecorder& b) {
+  std::ostringstream os;
+  if (a.wire_count() != b.wire_count()) {
+    os << "wire counts differ: " << a.wire_count() << " vs " << b.wire_count();
+    return os.str();
+  }
+  if (a.cycles() != b.cycles()) {
+    os << "trace lengths differ: " << a.cycles() << " vs " << b.cycles()
+       << " cycles";
+    return os.str();
+  }
+  for (std::uint64_t c = 0; c < a.cycles(); ++c) {
+    for (std::size_t w = 0; w < a.wire_count(); ++w) {
+      if (!(a.at(c, w) == b.at(c, w))) {
+        os << "first divergence at cycle " << c << " on wire '"
+           << a.wires_[w]->label << "': " << sample_repr(a.at(c, w)) << " vs "
+           << sample_repr(b.at(c, w));
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tfsim::axi

@@ -1,0 +1,71 @@
+// Per-cycle wire-state recorder for differential testing of the settle
+// schedulers.
+//
+// A CycleTraceRecorder snapshots (VALID, READY, payload) of a set of wires
+// at every clock edge.  Run the same stimulus through a SettleMode::kNaive
+// bench and a SettleMode::kActivity bench and the two traces must be
+// byte-identical -- that equality is the correctness argument for the
+// activity-driven scheduler (DESIGN.md section 10) and is enforced by
+// tests/axi/sched_equiv_test.cpp and tests/property/axi_sched_fuzz_test.cpp.
+//
+// During a fast-forwarded gap the wires are frozen by construction, so
+// advance() replicates the last snapshot once per skipped cycle; if the
+// scheduler ever skipped a cycle in which a wire actually moved, the
+// replicated rows diverge from the naive trace and the differential suite
+// pinpoints the first bad cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/module.hpp"
+#include "axi/stream.hpp"
+
+namespace tfsim::axi {
+
+class CycleTraceRecorder final : public Module {
+ public:
+  struct Sample {
+    bool valid = false;
+    bool ready = false;
+    Beat beat{};
+
+    friend bool operator==(const Sample&, const Sample&) = default;
+  };
+
+  CycleTraceRecorder(std::string name, std::vector<const Wire*> wires);
+
+  void tick(std::uint64_t cycle) override;
+  /// Pure observer with no eval().
+  std::optional<std::vector<const Wire*>> inputs() const override {
+    return std::vector<const Wire*>{};
+  }
+  std::uint64_t next_activity(std::uint64_t /*next*/) const override {
+    return kIdle;
+  }
+  /// Replicate the last recorded row once per skipped cycle: the scheduler
+  /// guarantees wires are frozen across the gap, and this is how that
+  /// guarantee becomes checkable against the naive trace.
+  void advance(std::uint64_t cycles) override;
+
+  std::size_t wire_count() const { return wires_.size(); }
+  /// Recorded cycles (rows).
+  std::uint64_t cycles() const { return cycles_; }
+  const Sample& at(std::uint64_t cycle, std::size_t wire) const {
+    return samples_[cycle * wires_.size() + wire];
+  }
+
+  /// Empty string when the two traces are byte-identical; otherwise a
+  /// human-readable description of the first divergence (cycle, wire label,
+  /// both samples) for test failure messages and fuzz-seed replay.
+  static std::string diff(const CycleTraceRecorder& a,
+                          const CycleTraceRecorder& b);
+
+ private:
+  std::vector<const Wire*> wires_;
+  std::vector<Sample> samples_;  ///< row-major: cycle * wire_count + wire
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace tfsim::axi

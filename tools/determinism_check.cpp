@@ -17,11 +17,15 @@
 //   3. the cycle-level AXI egress pipeline (router -> RateGate -> mux) with
 //      probabilistic source/sink, digesting every arrival, monitor gaps,
 //      and the protocol-checker verdict;
-//   4. the parallel sweep runner: the same batch of independent
+//   4. the settle-scheduler guard: the same AXI pipeline under
+//      SettleMode::kNaive and kActivity must produce identical arrival and
+//      monitor digests, in both the every-cycle-stepped and the
+//      fast-forwarded regime (DESIGN.md section 10);
+//   5. the parallel sweep runner: the same batch of independent
 //      engine+RNG simulations executed serially and on a 4-worker pool
 //      must produce byte-identical result vectors (the property every
 //      TFSIM_JOBS>1 figure sweep relies on);
-//   5. the Testbed -> Cluster refactor guard: the two-node testbed wired
+//   6. the Testbed -> Cluster refactor guard: the two-node testbed wired
 //      by hand (the pre-refactor assembly order) and the one built by
 //      node::Cluster from the paper scenario must produce byte-identical
 //      mini fig2/fig6-style result tables.
@@ -161,6 +165,83 @@ void scenario_axi(std::uint64_t seed, std::ostringstream& out) {
       << " gap_mean=" << mon.gap_stats().mean()
       << " gap_max=" << mon.gap_stats().max()
       << " protocol=" << (tb.sink().clean() ? "clean" : "violated") << "\n";
+}
+
+/// Returns false when the naive and activity settle schedulers diverge on
+/// the same pipeline (see DESIGN.md section 10: the two modes must be
+/// byte-identical in every observable).  Covers both regimes: a
+/// probabilistic source/sink pair (every cycle stepped, sensitivity-list
+/// settle only) and a deterministic saturated gate at PERIOD=50 (most
+/// cycles fast-forwarded).
+bool scenario_settle_equiv(std::uint64_t seed, std::ostringstream& out) {
+  namespace axi = tfsim::axi;
+
+  const auto digest_run = [seed](axi::SettleMode mode, double valid_p,
+                                 double ready_p, std::uint64_t period,
+                                 std::uint64_t& skipped) {
+    axi::Testbench tb(axi::CheckMode::kStrict, mode);
+    axi::Wire& in = tb.wire("in");
+    axi::Wire& r0 = tb.wire("r0");
+    axi::Wire& g0 = tb.wire("g0");
+    axi::Wire& f0 = tb.wire("f0");
+    axi::Wire& outw = tb.wire("out");
+    axi::Source::Config scfg;
+    scfg.saturate = true;
+    scfg.valid_probability = valid_p;
+    scfg.seed = seed;
+    tb.add<axi::Source>("src", in, scfg);
+    tb.add<axi::Router>("router", in, std::vector<axi::Wire*>{&r0});
+    tb.add<axi::RateGate>("gate", r0, g0, period);
+    tb.add<axi::Fifo>("fifo", g0, f0, 8);
+    tb.add<axi::RoundRobinMux>("mux", std::vector<axi::Wire*>{&f0}, outw);
+    axi::Sink::Config kcfg;
+    kcfg.ready_probability = ready_p;
+    kcfg.seed = seed + 1;
+    auto& sink = tb.add<axi::Sink>("sink", outw, kcfg);
+    auto& mon = tb.add<axi::Monitor>("mon", outw, /*check_id_order=*/true);
+    tb.run(5000);
+    skipped = tb.skipped_cycles();
+    Digest d;
+    for (const auto& a : sink.arrivals()) {
+      d.add(a.cycle);
+      d.add(a.beat.id);
+    }
+    d.add(sink.received());
+    d.add(mon.fires());
+    d.add(mon.gap_stats().count());
+    d.add(static_cast<std::uint64_t>(mon.gap_stats().mean() * 1e6));
+    return d.h;
+  };
+
+  bool match = true;
+  std::uint64_t naive_skipped = 0, act_skipped = 0;
+  const std::uint64_t prob_naive =
+      digest_run(axi::SettleMode::kNaive, 0.7, 0.8, 3, naive_skipped);
+  const std::uint64_t prob_act =
+      digest_run(axi::SettleMode::kActivity, 0.7, 0.8, 3, act_skipped);
+  match = match && prob_naive == prob_act && naive_skipped == 0;
+  const std::uint64_t gated_naive =
+      digest_run(axi::SettleMode::kNaive, 1.0, 1.0, 50, naive_skipped);
+  const std::uint64_t gated_act =
+      digest_run(axi::SettleMode::kActivity, 1.0, 1.0, 50, act_skipped);
+  // The deterministic PERIOD=50 run must actually have exercised the
+  // fast-forward path, or the equivalence above proved nothing.
+  match = match && gated_naive == gated_act && act_skipped > 0;
+
+  out << "settle: prob_digest=" << prob_act << " gated_digest=" << gated_act
+      << " gated_skipped=" << act_skipped
+      << " naive==activity=" << (match ? "yes" : "NO") << "\n";
+  if (!match) {
+    std::fprintf(stderr,
+                 "determinism_check: settle schedulers diverged "
+                 "(prob %llu vs %llu, gated %llu vs %llu, skipped %llu)\n",
+                 static_cast<unsigned long long>(prob_naive),
+                 static_cast<unsigned long long>(prob_act),
+                 static_cast<unsigned long long>(gated_naive),
+                 static_cast<unsigned long long>(gated_act),
+                 static_cast<unsigned long long>(act_skipped));
+  }
+  return match;
 }
 
 /// Returns false if the serial and parallel sweeps diverge (a hard failure,
@@ -312,6 +393,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   scenario_engine(seed, out);
   scenario_stats(seed, out);
   scenario_axi(seed, out);
+  sweep_ok = scenario_settle_equiv(seed, out) && sweep_ok;
   sweep_ok = scenario_sweep(seed, out) && sweep_ok;
   sweep_ok = scenario_cluster_refactor(out) && sweep_ok;
   return out.str();
