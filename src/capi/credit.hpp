@@ -5,18 +5,25 @@
 // its buffers.  The credit pool bounds the in-flight commands on the
 // compute-side AFU -- together with the NIC request window this is what
 // pins the bandwidth-delay product the paper measures (~16.5 kB).
+//
+// Both classes are protocol-accounting checks for the retry/replay path:
+// every abandoned transaction must hand its tag and credit back, and
+// check_quiesced() asserts the books balance once the fabric drains.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace tfsim::capi {
 
 class CreditPool {
  public:
-  explicit CreditPool(std::uint32_t total) : total_(total), available_(total) {}
+  explicit CreditPool(std::uint32_t total)
+      : total_(total), available_(total), min_available_(total) {}
 
   std::uint32_t total() const { return total_; }
   std::uint32_t available() const { return available_; }
@@ -24,8 +31,12 @@ class CreditPool {
 
   /// Take one credit; returns false when exhausted.
   bool try_consume() {
-    if (available_ == 0) return false;
+    if (available_ == 0) {
+      ++exhaustions_;
+      return false;
+    }
     --available_;
+    min_available_ = std::min(min_available_, available_);
     return true;
   }
 
@@ -38,15 +49,35 @@ class CreditPool {
     ++available_;
   }
 
+  /// Arrivals that found the pool empty (back-pressure events).
+  std::uint64_t exhaustions() const { return exhaustions_; }
+  /// Low-water mark of available credits since construction: how close the
+  /// retry path came to starving the channel.
+  std::uint32_t min_available() const { return min_available_; }
+
+  /// Assert every credit came home -- the quiesce invariant the replay
+  /// window's reclamation must uphold even for abandoned transactions.
+  void check_quiesced() const {
+    if (available_ != total_) {
+      throw std::logic_error("CreditPool: " +
+                             std::to_string(total_ - available_) +
+                             " credit(s) leaked at quiesce");
+    }
+  }
+
  private:
   std::uint32_t total_;
   std::uint32_t available_;
+  std::uint32_t min_available_;
+  std::uint64_t exhaustions_ = 0;
 };
 
 /// Allocates response-matching tags from a fixed space (free list, LIFO).
+/// Tracks per-tag allocated state, so releasing an already-free tag throws
+/// on the exact duplicate -- even while other tags are still in flight.
 class TagAllocator {
  public:
-  explicit TagAllocator(std::uint16_t capacity) {
+  explicit TagAllocator(std::uint16_t capacity) : allocated_(capacity, false) {
     free_.reserve(capacity);
     for (std::uint16_t t = capacity; t > 0; --t) {
       free_.push_back(static_cast<std::uint16_t>(t - 1));
@@ -58,6 +89,7 @@ class TagAllocator {
     if (free_.empty()) return std::nullopt;
     const std::uint16_t t = free_.back();
     free_.pop_back();
+    allocated_[t] = true;
     return t;
   }
 
@@ -65,9 +97,28 @@ class TagAllocator {
     if (tag >= capacity_) {
       throw std::logic_error("TagAllocator: tag out of range");
     }
+    if (!allocated_[tag]) {
+      throw std::logic_error("TagAllocator: double release of tag " +
+                             std::to_string(tag));
+    }
+    allocated_[tag] = false;
     free_.push_back(tag);
-    if (free_.size() > capacity_) {
-      throw std::logic_error("TagAllocator: double release");
+  }
+
+  /// True while `tag` is held by a transaction.
+  bool in_flight(std::uint16_t tag) const {
+    if (tag >= capacity_) {
+      throw std::logic_error("TagAllocator: tag out of range");
+    }
+    return allocated_[tag];
+  }
+
+  /// Assert every tag is back in the free list (see CreditPool).
+  void check_quiesced() const {
+    if (free_.size() != capacity_) {
+      throw std::logic_error("TagAllocator: " +
+                             std::to_string(capacity_ - free_.size()) +
+                             " tag(s) leaked at quiesce");
     }
   }
 
@@ -77,6 +128,7 @@ class TagAllocator {
  private:
   std::uint16_t capacity_ = 0;
   std::vector<std::uint16_t> free_;
+  std::vector<bool> allocated_;
 };
 
 }  // namespace tfsim::capi

@@ -1,0 +1,103 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::net {
+
+namespace {
+
+/// SplitMix64 finalizer: one full avalanche round, the same mixer sim::Rng
+/// seeds through.  Pure function of the input, so fault decision k never
+/// depends on anything but (seed, k).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kDelivered: return "delivered";
+    case FaultOutcome::kCorrupted: return "corrupted";
+    case FaultOutcome::kLost: return "lost";
+    case FaultOutcome::kFlapDropped: return "flap-dropped";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {
+  if (cfg_.loss_rate < 0.0 || cfg_.loss_rate > 1.0 ||
+      cfg_.corrupt_rate < 0.0 || cfg_.corrupt_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: rates must be in [0, 1]");
+  }
+  for (const FlapSpec& f : cfg_.flaps) {
+    if (f.duration == 0) {
+      throw std::invalid_argument("FaultPlan: flap duration must be > 0");
+    }
+    if (f.bandwidth_factor < 0.0 || f.bandwidth_factor >= 1.0) {
+      throw std::invalid_argument(
+          "FaultPlan: flap bandwidth factor must be in [0, 1)");
+    }
+  }
+}
+
+const FlapSpec* FaultPlan::active_flap(sim::Time t) const {
+  for (const FlapSpec& f : cfg_.flaps) {
+    if (t >= f.start && t < f.end()) return &f;
+  }
+  return nullptr;
+}
+
+FaultOutcome FaultPlan::next(sim::Time depart) {
+  const std::uint64_t k = count_++;
+  if (const FlapSpec* f = active_flap(depart); f != nullptr && f->down()) {
+    return FaultOutcome::kFlapDropped;
+  }
+  if (cfg_.loss_rate <= 0.0 && cfg_.corrupt_rate <= 0.0) {
+    return FaultOutcome::kDelivered;
+  }
+  // Two independent draws per attempt, both keyed off (seed, k) alone.
+  const std::uint64_t base = mix64(cfg_.seed ^ mix64(k));
+  if (unit(base) < cfg_.loss_rate) return FaultOutcome::kLost;
+  if (unit(mix64(base)) < cfg_.corrupt_rate) return FaultOutcome::kCorrupted;
+  return FaultOutcome::kDelivered;
+}
+
+FaultyLink::TxResult FaultyLink::transmit(sim::Time now,
+                                          std::uint64_t wire_bytes,
+                                          sim::Priority prio) {
+  TxResult r;
+  r.outcome = plan_.next(now);
+  r.delivered = inner_.transmit(now, wire_bytes, prio);
+  // A degraded (not down) flap stretches the effective serialization of
+  // frames entering the window: FEC retries / lane loss below the MAC.
+  if (const FlapSpec* f = plan_.active_flap(now);
+      f != nullptr && !f->down()) {
+    const sim::Time ser =
+        inner_.config().bandwidth.serialization_time(wire_bytes);
+    r.delivered += static_cast<sim::Time>(
+        static_cast<double>(ser) * (1.0 / f->bandwidth_factor - 1.0));
+  }
+  switch (r.outcome) {
+    case FaultOutcome::kDelivered: ++delivered_; break;
+    case FaultOutcome::kCorrupted: ++corrupted_; break;
+    case FaultOutcome::kLost: ++lost_; break;
+    case FaultOutcome::kFlapDropped: ++flap_dropped_; break;
+  }
+  return r;
+}
+
+std::uint64_t link_fault_seed(std::uint64_t base, std::uint32_t from,
+                              std::uint32_t to) {
+  return mix64(base ^ mix64((std::uint64_t{from} << 32) | to));
+}
+
+}  // namespace tfsim::net

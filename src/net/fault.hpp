@@ -1,0 +1,124 @@
+// Deterministic link-fault injection: loss, corruption, and flaps.
+//
+// Real disaggregated fabrics do not only delay traffic (the paper's axis);
+// they lose frames, corrupt payloads, and flap links.  CXL-DMSim and Clio
+// both treat link-level retransmission as part of the memory path, so the
+// fault layer here is the missing second axis of the resilience assessment:
+// a FaultPlan makes a per-packet decision (deliver / lose / corrupt) and a
+// FaultyLink decorates a Link with that plan plus a schedule of flap
+// intervals (hard-down or degraded-bandwidth windows).
+//
+// Determinism is the design constraint.  Decision k depends only on
+// (seed, k) through a SplitMix64 hash -- not on simulated time, not on any
+// other random stream, and not on call interleaving across sweep points --
+// so identical seed + spec reproduce the exact fault sequence under serial
+// and TFSIM_JOBS parallel sweeps (each sweep point owns its own plan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::net {
+
+/// One scheduled flap: inside [start, start + duration) the link is hard
+/// down (bandwidth_factor == 0: every frame entering the window is lost) or
+/// degraded (0 < factor < 1: serialization effectively slowed by 1/factor).
+struct FlapSpec {
+  sim::Time start = 0;
+  sim::Time duration = 0;
+  double bandwidth_factor = 0.0;
+
+  sim::Time end() const { return start + duration; }
+  bool down() const { return bandwidth_factor <= 0.0; }
+  friend bool operator==(const FlapSpec&, const FlapSpec&) = default;
+};
+
+struct FaultConfig {
+  double loss_rate = 0.0;     ///< per-packet loss probability
+  double corrupt_rate = 0.0;  ///< per-packet payload/CRC-corruption probability
+  std::uint64_t seed = 1;     ///< fault-stream seed (per-link streams are
+                              ///< split off this deterministically)
+  std::vector<FlapSpec> flaps;
+
+  bool enabled() const {
+    return loss_rate > 0.0 || corrupt_rate > 0.0 || !flaps.empty();
+  }
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
+};
+
+/// What happened to one transmission attempt.
+enum class FaultOutcome {
+  kDelivered,    ///< arrived intact
+  kCorrupted,    ///< arrived, but the CRC check at the receiver will fail
+  kLost,         ///< vanished on the wire (random loss)
+  kFlapDropped,  ///< sent into a hard-down flap window
+};
+
+const char* to_string(FaultOutcome o);
+
+/// Replayable per-packet fault decisions.  Stateless apart from a monotone
+/// attempt counter: decision k is a pure function of (seed, k).
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultConfig& cfg);
+
+  /// Classify the next transmission attempt, departing at `depart`.
+  /// Precedence: hard-down flap > loss > corruption.
+  FaultOutcome next(sim::Time depart);
+
+  /// The flap interval covering `t`, if any (degraded or down).
+  const FlapSpec* active_flap(sim::Time t) const;
+
+  const FaultConfig& config() const { return cfg_; }
+  std::uint64_t decisions() const { return count_; }
+
+ private:
+  FaultConfig cfg_;
+  std::uint64_t count_ = 0;
+};
+
+/// Decorator over Link: same serialization/queueing model underneath, with
+/// the plan deciding each frame's fate and flaps stretching service time.
+class FaultyLink {
+ public:
+  FaultyLink(Link& inner, const FaultConfig& cfg)
+      : inner_(inner), plan_(cfg) {}
+
+  struct TxResult {
+    /// Arrival time at the far end.  Meaningful for kDelivered/kCorrupted;
+    /// for lost frames it is when the frame *would* have arrived (the wire
+    /// time is still spent -- the sender serialized the frame).
+    sim::Time delivered = 0;
+    FaultOutcome outcome = FaultOutcome::kDelivered;
+  };
+
+  TxResult transmit(sim::Time now, std::uint64_t wire_bytes,
+                    sim::Priority prio = sim::Priority::kBulk);
+
+  Link& inner() { return inner_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t lost() const { return lost_; }
+  std::uint64_t flap_dropped() const { return flap_dropped_; }
+
+ private:
+  Link& inner_;
+  FaultPlan plan_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t flap_dropped_ = 0;
+};
+
+/// Split a per-link fault stream off a base seed: deterministic in the link
+/// endpoints only, so adding unrelated links never reshuffles existing
+/// streams.
+std::uint64_t link_fault_seed(std::uint64_t base, std::uint32_t from,
+                              std::uint32_t to);
+
+}  // namespace tfsim::net

@@ -43,16 +43,50 @@ void Network::add_route(NodeId src, NodeId dst,
 
 sim::Time Network::deliver(sim::Time now, NodeId src, NodeId dst,
                            std::uint64_t wire_bytes, sim::Priority prio) {
+  return deliver_ex(now, src, dst, wire_bytes, prio).arrival;
+}
+
+Delivery Network::deliver_ex(sim::Time now, NodeId src, NodeId dst,
+                             std::uint64_t wire_bytes, sim::Priority prio) {
   const auto it = routes_.find({src, dst});
   if (it == routes_.end()) {
     throw std::invalid_argument("Network::deliver: no route " +
                                 names_.at(src) + "->" + names_.at(dst));
   }
-  sim::Time t = now;
+  Delivery d;
+  d.arrival = now;
   for (const auto& hop : it->second) {
-    t = links_.at(hop)->transmit(t, wire_bytes, prio);
+    const auto fit = faulty_.find(hop);
+    if (fit == faulty_.end()) {
+      d.arrival = links_.at(hop)->transmit(d.arrival, wire_bytes, prio);
+      continue;
+    }
+    const auto tx = fit->second->transmit(d.arrival, wire_bytes, prio);
+    d.arrival = tx.delivered;
+    if (tx.outcome == FaultOutcome::kLost ||
+        tx.outcome == FaultOutcome::kFlapDropped) {
+      d.outcome = tx.outcome;
+      return d;  // the frame is gone; downstream hops never see it
+    }
+    if (tx.outcome == FaultOutcome::kCorrupted) {
+      d.outcome = FaultOutcome::kCorrupted;  // sticky until the far end
+    }
   }
-  return t;
+  return d;
+}
+
+void Network::enable_faults(const FaultConfig& cfg) {
+  for (const auto& [key, link] : links_) {
+    if (faulty_.count(key) != 0) continue;
+    FaultConfig per_link = cfg;
+    per_link.seed = link_fault_seed(cfg.seed, key.first, key.second);
+    faulty_[key] = std::make_unique<FaultyLink>(*link, per_link);
+  }
+}
+
+const FaultyLink* Network::faulty_link(NodeId from, NodeId to) const {
+  const auto it = faulty_.find({from, to});
+  return it == faulty_.end() ? nullptr : it->second.get();
 }
 
 Link& Network::link(NodeId from, NodeId to) {

@@ -16,10 +16,22 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 
 namespace tfsim::net {
+
+/// End-to-end result of a delivery attempt across a (possibly faulty) path.
+struct Delivery {
+  /// Arrival time at the last hop the frame reached.  For kDelivered and
+  /// kCorrupted this is the destination arrival; for lost frames it is when
+  /// the loss point was reached (the sender only learns via its own timer).
+  sim::Time arrival = 0;
+  FaultOutcome outcome = FaultOutcome::kDelivered;
+
+  bool delivered() const { return outcome == FaultOutcome::kDelivered; }
+};
 
 class Network {
  public:
@@ -37,13 +49,31 @@ class Network {
 
   /// Deliver `wire_bytes` from src to dst starting at `now`; returns arrival
   /// time after traversing every hop (serialization + queueing at each).
+  /// Fault-oblivious view: equals deliver_ex(...).arrival (and consumes the
+  /// same fault decisions), for callers that model the wire as reliable.
   sim::Time deliver(sim::Time now, NodeId src, NodeId dst,
                     std::uint64_t wire_bytes,
                     sim::Priority prio = sim::Priority::kBulk);
 
+  /// Fault-aware delivery: traverses hops until the frame is delivered or
+  /// dropped.  Loss/flap at any hop ends the traversal; corruption travels
+  /// on (the CRC is only checked at the destination NIC).
+  Delivery deliver_ex(sim::Time now, NodeId src, NodeId dst,
+                      std::uint64_t wire_bytes,
+                      sim::Priority prio = sim::Priority::kBulk);
+
+  /// Wrap every existing link with a FaultyLink driven by `cfg`; each link
+  /// gets an independent stream split off cfg.seed via link_fault_seed, so
+  /// the full fault pattern is a pure function of (spec, seed).  Links
+  /// connected later are unaffected; call again to cover them.
+  void enable_faults(const FaultConfig& cfg);
+  bool faults_enabled() const { return !faulty_.empty(); }
+
   /// Link for a hop (for stats); throws if absent.
   Link& link(NodeId from, NodeId to);
   const Link& link(NodeId from, NodeId to) const;
+  /// Fault decoration for a hop; nullptr when the hop is fault-free.
+  const FaultyLink* faulty_link(NodeId from, NodeId to) const;
 
   std::size_t num_nodes() const { return names_.size(); }
   const std::string& node_name(NodeId id) const { return names_.at(id); }
@@ -54,6 +84,7 @@ class Network {
  private:
   std::vector<std::string> names_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<FaultyLink>> faulty_;
   std::map<std::pair<NodeId, NodeId>, std::vector<std::pair<NodeId, NodeId>>> routes_;
 };
 

@@ -1,5 +1,6 @@
 #include "nic/nic.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "capi/frame.hpp"
@@ -17,6 +18,14 @@ constexpr std::uint64_t kDataBytes =
     net::kPacketHeaderBytes + capi::kFrameBytes + mem::kCacheLineBytes;
 }  // namespace
 
+namespace {
+std::uint16_t tag_space(std::uint32_t window_entries) {
+  // One response-matching tag per window slot, clamped to the 16-bit aCTag.
+  return static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(window_entries, 0xFFFF));
+}
+}  // namespace
+
 DisaggNic::DisaggNic(const NicConfig& cfg, net::Network& network,
                      net::NodeId self, std::string name)
     : cfg_(cfg),
@@ -25,7 +34,10 @@ DisaggNic::DisaggNic(const NicConfig& cfg, net::Network& network,
       name_(std::move(name)),
       window_(cfg.window_entries, cfg.latency_reserved_entries),
       injector_(std::make_unique<DelayInjector>(cfg.fpga_clock_hz, cfg.period)),
-      timeout_(cfg.timeout) {}
+      timeout_(cfg.timeout),
+      replay_(cfg.replay),
+      credits_(cfg.window_entries),
+      tags_(tag_space(cfg.window_entries)) {}
 
 void DisaggNic::register_lender(std::uint32_t lender_id, net::NodeId lender_node,
                                 mem::Dram* lender_dram,
@@ -38,6 +50,19 @@ void DisaggNic::register_lender(std::uint32_t lender_id, net::NodeId lender_node
     throw std::invalid_argument("DisaggNic: no route to lender node");
   }
   lenders_[lender_id] = Lender{lender_node, lender_dram, lender_nic_latency};
+}
+
+void DisaggNic::set_lender_down(std::uint32_t lender_id, sim::Time at) {
+  const auto it = lenders_.find(lender_id);
+  if (it == lenders_.end()) {
+    throw std::invalid_argument("DisaggNic: unknown lender");
+  }
+  it->second.down_at = at;
+}
+
+bool DisaggNic::lender_down(std::uint32_t lender_id, sim::Time at) const {
+  const auto it = lenders_.find(lender_id);
+  return it != lenders_.end() && at >= it->second.down_at;
 }
 
 bool DisaggNic::attach() {
@@ -77,6 +102,68 @@ void DisaggNic::set_distribution_injector(
   injector_ = std::make_unique<DelayInjector>(std::move(dist));
 }
 
+std::optional<sim::Time> DisaggNic::attempt_once(sim::Time depart,
+                                                 Lender& lender, bool write,
+                                                 sim::Priority prio,
+                                                 AccessTrace& t) {
+  // 3. Packetize + serialize onto the egress path.  Lost frames still cost
+  //    the sender their wire time (they were serialized before vanishing).
+  const std::uint64_t req_bytes = write ? kDataBytes : kCmdOnlyBytes;
+  const auto req =
+      network_.deliver_ex(depart, self_, lender.node, req_bytes, prio);
+  wire_out_ += req_bytes;
+  if (req.outcome == net::FaultOutcome::kLost ||
+      req.outcome == net::FaultOutcome::kFlapDropped) {
+    replay_.count_frame_lost();
+    return std::nullopt;
+  }
+  if (req.outcome == net::FaultOutcome::kCorrupted) {
+    // CRC check at the lender NIC rejects the frame; no response is sent.
+    replay_.count_crc_drop();
+    return std::nullopt;
+  }
+  if (req.arrival >= lender.down_at) {
+    // The request reached a dead lender: from the borrower's side this is
+    // indistinguishable from loss -- the retransmission timer fires.
+    replay_.count_frame_lost();
+    return std::nullopt;
+  }
+  t.tx_done = req.arrival;
+  // 4. Lender NIC + lender memory bus (shared with local apps: MCLN).
+  t.mem_done = lender.dram->access(req.arrival + lender.nic_latency,
+                                   mem::kCacheLineBytes, prio);
+  // 5. Response path (data-carrying for reads).
+  const std::uint64_t resp_bytes = write ? kCmdOnlyBytes : kDataBytes;
+  const auto resp = network_.deliver_ex(t.mem_done + lender.nic_latency,
+                                        lender.node, self_, resp_bytes, prio);
+  if (resp.outcome == net::FaultOutcome::kLost ||
+      resp.outcome == net::FaultOutcome::kFlapDropped) {
+    replay_.count_frame_lost();
+    return std::nullopt;
+  }
+  wire_in_ += resp_bytes;  // the frame reached the borrower (even corrupted)
+  if (resp.outcome == net::FaultOutcome::kCorrupted) {
+    replay_.count_crc_drop();
+    return std::nullopt;
+  }
+  return resp.arrival;
+}
+
+void DisaggNic::note_abandoned(std::uint32_t lender_id, Lender& lender) {
+  ++lender.consecutive_abandons;
+  if (lender.detached ||
+      lender.consecutive_abandons < replay_.config().detach_threshold) {
+    return;
+  }
+  const std::size_t unmapped = translator_.remove_lender_segments(lender_id);
+  lender.detached = true;
+  ++detached_lenders_;
+  TFSIM_LOG(Warn) << name_ << ": lender " << lender_id << " detached after "
+                  << lender.consecutive_abandons
+                  << " consecutive abandonments (" << unmapped
+                  << " segment(s) unmapped)";
+}
+
 std::optional<AccessTrace> DisaggNic::remote_access(sim::Time now,
                                                     mem::Addr addr, bool write,
                                                     sim::Priority prio) {
@@ -90,34 +177,64 @@ std::optional<AccessTrace> DisaggNic::remote_access(sim::Time now,
     return std::nullopt;
   }
   const auto lit = lenders_.find(xlat->lender_id);
-  if (lit == lenders_.end()) {
+  if (lit == lenders_.end() || lit->second.detached) {
     ++failures_;
     return std::nullopt;
   }
-  const Lender& lender = lit->second;
+  Lender& lender = lit->second;
 
   AccessTrace t;
   t.issued = now;
   // 1. Window admission (stall while all MSHR entries are in flight).
   t.admitted = window_.admission_time(now, prio) + cfg_.processing_latency;
-  // 2. Delay injector at the egress (between routing and multiplexing).
-  t.gate_out = injector_->admit(t.admitted);
-  // 3. Packetize + serialize onto the egress path.
-  const std::uint64_t req_bytes = write ? kDataBytes : kCmdOnlyBytes;
-  t.tx_done =
-      network_.deliver(t.gate_out, self_, lender.node, req_bytes, prio);
-  wire_out_ += req_bytes;
-  // 4. Lender NIC + lender memory bus (shared with local apps: MCLN).
-  t.mem_done = lender.dram->access(t.tx_done + lender.nic_latency,
-                                   mem::kCacheLineBytes, prio);
-  // 5. Response path (data-carrying for reads).
-  const std::uint64_t resp_bytes = write ? kCmdOnlyBytes : kDataBytes;
-  const sim::Time resp_arrived = network_.deliver(
-      t.mem_done + lender.nic_latency, lender.node, self_, resp_bytes, prio);
-  wire_in_ += resp_bytes;
-  t.completion = resp_arrived + cfg_.processing_latency;
+  // Protocol bookkeeping: the transaction holds one TL credit and one
+  // response-matching tag for its whole life, retries included; both must
+  // come home on every exit path (check_quiesced asserts they did).
+  const auto tag = tags_.allocate();
+  const bool credit = credits_.try_consume();
+  if (!tag.has_value() || !credit) {
+    // Window sizing guarantees a slot implies a tag and a credit; reaching
+    // this means a reclamation bug upstream, so fail the access loudly.
+    if (tag.has_value()) tags_.release(*tag);
+    if (credit) credits_.restore();
+    ++failures_;
+    return std::nullopt;
+  }
+
+  sim::Time depart = t.admitted;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    // 2. Delay injector at the egress (between routing and multiplexing);
+    //    retransmitted frames traverse it again like any other egress.
+    const sim::Time gate = injector_->admit(depart);
+    if (attempt == 0) t.gate_out = gate;
+    const auto done = attempt_once(gate, lender, write, prio, t);
+    if (done.has_value()) {
+      t.completion = *done + cfg_.processing_latency;
+      t.retries = attempt;
+      if (attempt > 0) replay_.count_recovered();
+      lender.consecutive_abandons = 0;
+      break;
+    }
+    if (attempt >= replay_.config().max_retries) {
+      // Abandon: surface a fail response at the final timer expiry and
+      // reclaim the window slot, tag, and credit.
+      replay_.count_abandoned();
+      window_.record_completion(replay_.retry_at(gate, attempt), prio);
+      tags_.release(*tag);
+      credits_.restore();
+      ++failures_;
+      note_abandoned(xlat->lender_id, lender);
+      return std::nullopt;
+    }
+    replay_.count_retry();
+    // The retransmission timer was armed when this attempt left the egress;
+    // the next attempt departs when it expires.
+    depart = replay_.retry_at(gate, attempt);
+  }
 
   window_.record_completion(t.completion, prio);
+  tags_.release(*tag);
+  credits_.restore();
   ++seq_;
   ++(write ? writes_ : reads_);
   latency_us_.add(sim::to_us(t.completion - t.issued));
@@ -131,6 +248,7 @@ void DisaggNic::reset_stats() {
   wire_out_ = 0;
   wire_in_ = 0;
   latency_us_.reset();
+  replay_.reset_stats();
 }
 
 }  // namespace tfsim::nic

@@ -13,9 +13,11 @@
 #include <optional>
 #include <string>
 
+#include "capi/credit.hpp"
 #include "mem/dram.hpp"
 #include "net/network.hpp"
 #include "nic/injector.hpp"
+#include "nic/replay.hpp"
 #include "nic/timeout.hpp"
 #include "nic/translator.hpp"
 #include "nic/window.hpp"
@@ -37,16 +39,20 @@ struct NicConfig {
   /// packetizer, AFU logic).
   sim::Time processing_latency = sim::from_ns(120.0);
   TimeoutConfig timeout;
+  /// DL replay window: retransmission timers + bounded backoff for frames
+  /// lost or corrupted on a faulty fabric (net::FaultyLink).
+  ReplayConfig replay;
 };
 
 /// Per-access time breakdown (for validation and tests).
 struct AccessTrace {
   sim::Time issued = 0;      ///< LLC miss reached the NIC
   sim::Time admitted = 0;    ///< entered the pipeline (window slot)
-  sim::Time gate_out = 0;    ///< left the delay injector
+  sim::Time gate_out = 0;    ///< left the delay injector (first attempt)
   sim::Time tx_done = 0;     ///< request delivered to lender NIC
   sim::Time mem_done = 0;    ///< lender memory access complete
   sim::Time completion = 0;  ///< response received at borrower
+  std::uint32_t retries = 0; ///< retransmissions this access needed
 };
 
 class DisaggNic {
@@ -59,6 +65,16 @@ class DisaggNic {
   void register_lender(std::uint32_t lender_id, net::NodeId lender_node,
                        mem::Dram* lender_dram,
                        sim::Time lender_nic_latency = sim::from_ns(120.0));
+
+  /// Declare a lender dead from `at` on: requests reaching it at or after
+  /// that time get no response (mid-run node failure).  After
+  /// replay.detach_threshold consecutive abandonments the NIC gracefully
+  /// detaches the lender -- its segments are unmapped so later accesses
+  /// fail fast instead of burning a full retry ladder each.
+  void set_lender_down(std::uint32_t lender_id, sim::Time at);
+  bool lender_down(std::uint32_t lender_id, sim::Time at) const;
+  /// Lenders detached after abandonment storms (graceful degradation).
+  std::uint32_t detached_lenders() const { return detached_lenders_; }
 
   AddressTranslator& translator() { return translator_; }
   const AddressTranslator& translator() const { return translator_; }
@@ -88,7 +104,18 @@ class DisaggNic {
 
   DelayInjector& injector() { return *injector_; }
   RequestWindow& window() { return window_; }
+  const ReplayWindow& replay() const { return replay_; }
+  const capi::CreditPool& credits() const { return credits_; }
+  const capi::TagAllocator& tags() const { return tags_; }
   const NicConfig& config() const { return cfg_; }
+
+  /// Assert the protocol books balance with no transaction in flight:
+  /// every credit restored, every tag released (replay reclamation held up
+  /// even through abandonments).  Throws std::logic_error otherwise.
+  void check_quiesced() const {
+    credits_.check_quiesced();
+    tags_.check_quiesced();
+  }
 
   // --- statistics -----------------------------------------------------
   std::uint64_t reads() const { return reads_; }
@@ -105,7 +132,17 @@ class DisaggNic {
     net::NodeId node = 0;
     mem::Dram* dram = nullptr;
     sim::Time nic_latency = 0;
+    sim::Time down_at = sim::kTimeNever;  ///< dead from this time on
+    std::uint32_t consecutive_abandons = 0;
+    bool detached = false;
   };
+
+  /// One request/response round trip (no retry logic); nullopt when a frame
+  /// was lost/corrupted or the lender is down at request arrival.
+  std::optional<sim::Time> attempt_once(sim::Time depart, Lender& lender,
+                                        bool write, sim::Priority prio,
+                                        AccessTrace& t);
+  void note_abandoned(std::uint32_t lender_id, Lender& lender);
 
   NicConfig cfg_;
   net::Network& network_;
@@ -118,7 +155,11 @@ class DisaggNic {
   RequestWindow window_;
   std::unique_ptr<DelayInjector> injector_;
   TimeoutDetector timeout_;
+  ReplayWindow replay_;
+  capi::CreditPool credits_;
+  capi::TagAllocator tags_;
   std::map<std::uint32_t, Lender> lenders_;
+  std::uint32_t detached_lenders_ = 0;
 
   std::uint32_t seq_ = 0;
   std::uint64_t reads_ = 0;

@@ -1,0 +1,91 @@
+// OpenCAPI-DL-style replay window: retransmission timers with bounded
+// exponential backoff.
+//
+// The DL layer keeps every transmitted frame in a replay buffer until it is
+// acknowledged; a frame whose timer expires is retransmitted, and after a
+// bounded number of attempts the transaction is abandoned and its tag and
+// credit are reclaimed.  In the analytic model the replay buffer never
+// stores payloads -- only the timing policy matters: a failed attempt costs
+// exactly one timer interval before the next attempt departs, so loss and
+// corruption translate into latency instead of hung transactions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/units.hpp"
+
+namespace tfsim::nic {
+
+struct ReplayConfig {
+  /// Retransmission timer for the first attempt (armed when the frame
+  /// leaves the egress): covers the full round trip plus slack.
+  sim::Time retry_timeout = sim::from_us(25.0);
+  /// Timer multiplier per retry (exponential backoff).
+  double backoff = 2.0;
+  /// Retransmissions after the initial attempt; past this the transaction
+  /// is abandoned and surfaced to the host as a fail response.
+  std::uint32_t max_retries = 8;
+  /// Consecutive abandonments against one lender that trigger a graceful
+  /// detach (the lender is declared dead and its segments unmapped) instead
+  /// of retrying into a black hole forever.
+  std::uint32_t detach_threshold = 4;
+};
+
+/// Pure retransmission-timing policy plus the replay-path statistics.
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(const ReplayConfig& cfg) : cfg_(cfg) {
+    if (cfg_.retry_timeout == 0) {
+      throw std::invalid_argument("ReplayWindow: retry timeout must be > 0");
+    }
+    if (cfg_.backoff < 1.0) {
+      throw std::invalid_argument("ReplayWindow: backoff must be >= 1");
+    }
+  }
+
+  /// When the retransmission timer for attempt `attempt` (0-based) of a
+  /// frame sent at `sent` expires.  Saturates instead of wrapping for
+  /// absurd backoff/attempt combinations.
+  sim::Time retry_at(sim::Time sent, std::uint32_t attempt) const {
+    double timeout = static_cast<double>(cfg_.retry_timeout);
+    for (std::uint32_t i = 0; i < attempt; ++i) timeout *= cfg_.backoff;
+    const double expiry = static_cast<double>(sent) + timeout;
+    if (expiry >= static_cast<double>(sim::kTimeNever)) return sim::kTimeNever;
+    return static_cast<sim::Time>(expiry);
+  }
+
+  const ReplayConfig& config() const { return cfg_; }
+
+  // --- statistics (owned here so the NIC resets them as one unit) ---------
+  void count_retry() { ++retries_; }
+  void count_abandoned() { ++abandoned_; }
+  void count_crc_drop() { ++crc_drops_; }
+  void count_frame_lost() { ++frames_lost_; }
+  void count_recovered() { ++recovered_; }
+
+  /// Retransmissions issued (one per expired timer).
+  std::uint64_t retries() const { return retries_; }
+  /// Transactions given up after max_retries (tag/credit reclaimed).
+  std::uint64_t abandoned() const { return abandoned_; }
+  /// Frames dropped at a CRC check (either direction).
+  std::uint64_t crc_drops() const { return crc_drops_; }
+  /// Frames that vanished on the wire (loss, flap, dead lender).
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  /// Transactions that needed >= 1 retry but completed.
+  std::uint64_t recovered() const { return recovered_; }
+
+  void reset_stats() {
+    retries_ = abandoned_ = crc_drops_ = frames_lost_ = recovered_ = 0;
+  }
+
+ private:
+  ReplayConfig cfg_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t crc_drops_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t recovered_ = 0;
+};
+
+}  // namespace tfsim::nic

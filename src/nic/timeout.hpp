@@ -35,11 +35,16 @@ class TimeoutDetector {
       : cfg_(cfg) {}
 
   /// Probe with the injector configured at `period` on a clock of period
-  /// `tclk`: would the FPGA still be detected?
+  /// `tclk`: would the FPGA still be detected?  discovery_reads x period x
+  /// tclk saturates instead of wrapping, so a huge-PERIOD sweep point reads
+  /// as "never detected", not as a bogus small discovery time.
   AttachProbe probe(std::uint64_t period, sim::Time tclk) const {
     AttachProbe p;
-    p.discovery_time =
-        cfg_.base_cost + cfg_.discovery_reads * period * tclk;
+    std::uint64_t gated = sat_mul(cfg_.discovery_reads, period);
+    gated = sat_mul(gated, tclk);
+    p.discovery_time = gated > sim::kTimeNever - cfg_.base_cost
+                           ? sim::kTimeNever
+                           : cfg_.base_cost + gated;
     p.detected = p.discovery_time <= cfg_.detection_deadline;
     return p;
   }
@@ -47,6 +52,12 @@ class TimeoutDetector {
   const TimeoutConfig& config() const { return cfg_; }
 
  private:
+  static std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) return 0;
+    if (a > ~std::uint64_t{0} / b) return ~std::uint64_t{0};
+    return a * b;
+  }
+
   TimeoutConfig cfg_;
 };
 

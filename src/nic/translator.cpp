@@ -31,6 +31,15 @@ bool AddressTranslator::remove_segment(const std::string& name) {
   return true;
 }
 
+std::size_t AddressTranslator::remove_lender_segments(std::uint32_t lender_id) {
+  const auto first = std::remove_if(
+      segments_.begin(), segments_.end(),
+      [&](const Segment& s) { return s.lender_id == lender_id; });
+  const auto removed = static_cast<std::size_t>(segments_.end() - first);
+  segments_.erase(first, segments_.end());
+  return removed;
+}
+
 std::optional<Translation> AddressTranslator::translate(
     mem::Addr borrower_addr) const {
   auto it = std::upper_bound(segments_.begin(), segments_.end(), borrower_addr,

@@ -33,6 +33,9 @@ class AddressTranslator {
   void add_segment(Segment seg);
   /// Remove by name (hot-unplug); returns false if absent.
   bool remove_segment(const std::string& name);
+  /// Remove every segment mapped to `lender_id` (graceful detach after the
+  /// lender is declared dead); returns how many were unmapped.
+  std::size_t remove_lender_segments(std::uint32_t lender_id);
 
   /// Translate a borrower physical address; nullopt if unmapped (the NIC
   /// raises a fail response rather than accessing arbitrary lender memory).

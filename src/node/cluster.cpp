@@ -31,6 +31,7 @@ Cluster::Cluster(const scenario::ScenarioSpec& spec) : spec_(spec) {
   build_topology();
   build_control_plane();
   apply_injector();
+  apply_faults();
   remote_.resize(borrowers_.size());
 }
 
@@ -125,6 +126,29 @@ void Cluster::apply_injector() {
     } else {
       b->nic().set_period(inj.period);
     }
+  }
+}
+
+void Cluster::apply_faults() {
+  const auto& f = spec_.faults;
+  if (f.link.enabled()) network_.enable_faults(f.link);
+  if (f.kill_lender.empty()) return;
+  // The kill names an expanded lender node; a typo must fail loud, exactly
+  // like an unknown JSON key.
+  for (std::size_t i = 0; i < lenders_.size(); ++i) {
+    if (lenders_[i]->name() == f.kill_lender) {
+      kill_lender(i, sim::from_us(f.kill_at_us));
+      return;
+    }
+  }
+  throw std::invalid_argument("Cluster: faults.kill_lender names no lender: " +
+                              f.kill_lender);
+}
+
+void Cluster::kill_lender(std::size_t lender_idx, sim::Time at) {
+  const std::uint32_t id = registry_id(*lenders_.at(lender_idx));
+  for (Node* b : borrowers_) {
+    if (b->has_nic()) b->nic().set_lender_down(id, at);
   }
 }
 

@@ -63,6 +63,11 @@ class Cluster {
   void set_period(std::uint64_t period);
   std::uint64_t period() const;
 
+  /// Declare lender i dead from `at` on (mid-run node failure): every
+  /// borrower NIC sees requests to it vanish, retries, and eventually
+  /// detaches it.  The spec's faults.kill_lender applies this at build.
+  void kill_lender(std::size_t lender_idx, sim::Time at);
+
   /// A CPU context on borrower i (the node running the workloads).
   MemContext make_context(const CpuConfig& cfg, std::string name = "ctx",
                           std::size_t borrower_idx = 0) {
@@ -74,6 +79,7 @@ class Cluster {
   void build_topology();
   void build_control_plane();
   void apply_injector();
+  void apply_faults();
 
   scenario::ScenarioSpec spec_;
   sim::Engine engine_;

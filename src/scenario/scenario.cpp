@@ -62,7 +62,8 @@ mem::DramConfig parse_dram(const Json& obj) {
 nic::NicConfig parse_nic(const Json& obj) {
   check_keys(obj, "nic",
              {"window_entries", "latency_reserved_entries", "fpga_clock_mhz",
-              "period", "processing_ns"});
+              "period", "processing_ns", "retry_timeout_us", "retry_backoff",
+              "max_retries", "detach_threshold"});
   nic::NicConfig cfg;
   cfg.window_entries =
       static_cast<std::uint32_t>(get_uint(obj, "window_entries", cfg.window_entries));
@@ -73,6 +74,13 @@ nic::NicConfig parse_nic(const Json& obj) {
   cfg.period = get_uint(obj, "period", cfg.period);
   cfg.processing_latency = sim::from_ns(
       get_double(obj, "processing_ns", sim::to_ns(cfg.processing_latency)));
+  cfg.replay.retry_timeout = sim::from_us(get_double(
+      obj, "retry_timeout_us", sim::to_us(cfg.replay.retry_timeout)));
+  cfg.replay.backoff = get_double(obj, "retry_backoff", cfg.replay.backoff);
+  cfg.replay.max_retries = static_cast<std::uint32_t>(
+      get_uint(obj, "max_retries", cfg.replay.max_retries));
+  cfg.replay.detach_threshold = static_cast<std::uint32_t>(
+      get_uint(obj, "detach_threshold", cfg.replay.detach_threshold));
   return cfg;
 }
 
@@ -118,8 +126,65 @@ Json dump_node(const NodeDecl& d) {
   nic.set("fpga_clock_mhz", Json::number(d.nic.fpga_clock_hz / 1e6));
   nic.set("period", Json::number(d.nic.period));
   nic.set("processing_ns", Json::number(sim::to_ns(d.nic.processing_latency)));
+  nic.set("retry_timeout_us",
+          Json::number(sim::to_us(d.nic.replay.retry_timeout)));
+  nic.set("retry_backoff", Json::number(d.nic.replay.backoff));
+  nic.set("max_retries", Json::number(std::uint64_t{d.nic.replay.max_retries}));
+  nic.set("detach_threshold",
+          Json::number(std::uint64_t{d.nic.replay.detach_threshold}));
   node.set("nic", std::move(nic));
   return node;
+}
+
+FaultSpec parse_faults(const Json& obj) {
+  check_keys(obj, "faults",
+             {"loss_rate", "corrupt_rate", "seed", "flaps", "kill_lender"});
+  FaultSpec f;
+  f.link.loss_rate = get_double(obj, "loss_rate", f.link.loss_rate);
+  f.link.corrupt_rate = get_double(obj, "corrupt_rate", f.link.corrupt_rate);
+  f.link.seed = get_uint(obj, "seed", f.link.seed);
+  if (const Json* flaps = obj.find("flaps")) {
+    for (const auto& fl : flaps->items()) {
+      check_keys(fl, "flap", {"at_us", "for_us", "factor"});
+      net::FlapSpec flap;
+      flap.start = sim::from_us(get_double(fl, "at_us", 0.0));
+      flap.duration = sim::from_us(get_double(fl, "for_us", 0.0));
+      flap.bandwidth_factor = get_double(fl, "factor", 0.0);
+      f.link.flaps.push_back(flap);
+    }
+  }
+  if (const Json* kl = obj.find("kill_lender")) {
+    check_keys(*kl, "kill_lender", {"node", "at_us"});
+    f.kill_lender = get_string(*kl, "node", "");
+    if (f.kill_lender.empty()) {
+      throw JsonError("scenario: kill_lender requires a \"node\" name");
+    }
+    f.kill_at_us = get_double(*kl, "at_us", 0.0);
+  }
+  return f;
+}
+
+Json dump_faults(const FaultSpec& f) {
+  Json obj = Json::object();
+  obj.set("loss_rate", Json::number(f.link.loss_rate));
+  obj.set("corrupt_rate", Json::number(f.link.corrupt_rate));
+  obj.set("seed", Json::number(f.link.seed));
+  Json flaps = Json::array();
+  for (const auto& flap : f.link.flaps) {
+    Json fl = Json::object();
+    fl.set("at_us", Json::number(sim::to_us(flap.start)));
+    fl.set("for_us", Json::number(sim::to_us(flap.duration)));
+    fl.set("factor", Json::number(flap.bandwidth_factor));
+    flaps.push(std::move(fl));
+  }
+  obj.set("flaps", std::move(flaps));
+  if (!f.kill_lender.empty()) {
+    Json kl = Json::object();
+    kl.set("node", Json::string(f.kill_lender));
+    kl.set("at_us", Json::number(f.kill_at_us));
+    obj.set("kill_lender", std::move(kl));
+  }
+  return obj;
 }
 
 Json dump_link(const net::LinkConfig& cfg) {
@@ -193,7 +258,7 @@ void ScenarioSpec::set_borrower_count(std::uint32_t count) {
 ScenarioSpec from_json(const Json& doc) {
   check_keys(doc, "scenario",
              {"name", "description", "nodes", "topology", "injector", "policy",
-              "reservations", "workloads", "sweep"});
+              "reservations", "workloads", "faults", "sweep"});
   ScenarioSpec spec;
   spec.name = get_string(doc, "name", spec.name);
   spec.description = get_string(doc, "description", "");
@@ -250,6 +315,8 @@ ScenarioSpec from_json(const Json& doc) {
       spec.workloads.push_back(std::move(wl));
     }
   }
+
+  if (const Json* f = doc.find("faults")) spec.faults = parse_faults(*f);
 
   if (const Json* sw = doc.find("sweep")) {
     check_keys(*sw, "sweep", {"periods", "lenders", "borrowers", "instances"});
@@ -332,6 +399,8 @@ Json to_json(const ScenarioSpec& spec) {
     ws.push(std::move(wl));
   }
   doc.set("workloads", std::move(ws));
+
+  doc.set("faults", dump_faults(spec.faults));
 
   Json sw = Json::object();
   sw.set("periods", dump_uint_array(spec.sweep.periods));

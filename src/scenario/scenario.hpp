@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mem/dram.hpp"
+#include "net/fault.hpp"
 #include "net/latency_dist.hpp"
 #include "net/link.hpp"
 #include "nic/nic.hpp"
@@ -82,6 +83,18 @@ struct ReservationSpec {
   std::string name = "thymesisflow-borrowed";
 };
 
+/// Deterministic fault injection: every fabric link gets loss, corruption
+/// and flap scheduling from one seeded FaultConfig (per-link streams are
+/// split off the seed, so the pattern is a pure function of the spec), plus
+/// an optional mid-run lender kill.  Defaults = pristine fabric.
+struct FaultSpec {
+  net::FaultConfig link;
+  std::string kill_lender;  ///< expanded node name ("lender0"); "" = none
+  double kill_at_us = 0.0;  ///< the lender stops responding from here on
+
+  bool enabled() const { return link.enabled() || !kill_lender.empty(); }
+};
+
 /// A workload binding: which driver a scenario-driven bench should run on
 /// each borrower and where its arrays live.
 struct WorkloadSpec {
@@ -107,6 +120,7 @@ struct ScenarioSpec {
   std::string policy = "first-fit";
   std::vector<ReservationSpec> reservations;
   std::vector<WorkloadSpec> workloads;
+  FaultSpec faults;
   SweepSpec sweep;
 
   const NodeDecl* find_node(const std::string& name) const;

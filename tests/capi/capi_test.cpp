@@ -162,5 +162,59 @@ TEST(TagAllocatorTest, OutOfRangeReleaseThrows) {
   EXPECT_THROW(tags.release(4), std::logic_error);
 }
 
+TEST(TagAllocatorTest, DuplicateReleaseThrowsOnTheExactTag) {
+  // The per-tag allocated bitmap must catch a double release even while
+  // other tags are legitimately in flight (a free-list length check alone
+  // cannot distinguish which release was bogus).
+  TagAllocator tags(4);
+  const auto a = tags.allocate();
+  const auto b = tags.allocate();
+  const auto c = tags.allocate();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(tags.in_flight(*b));
+  tags.release(*b);
+  EXPECT_FALSE(tags.in_flight(*b));
+  EXPECT_THROW(tags.release(*b), std::logic_error) << "exact duplicate";
+  EXPECT_TRUE(tags.in_flight(*a)) << "unaffected by the failed release";
+  EXPECT_TRUE(tags.in_flight(*c));
+  EXPECT_THROW(tags.in_flight(4), std::logic_error) << "range-checked";
+}
+
+TEST(TagAllocatorTest, CheckQuiescedDetectsLeak) {
+  TagAllocator tags(2);
+  tags.check_quiesced();  // fresh allocator: all tags home
+  const auto t = tags.allocate();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_THROW(tags.check_quiesced(), std::logic_error);
+  tags.release(*t);
+  tags.check_quiesced();
+}
+
+TEST(CreditTest, ExhaustionAndLowWaterCounters) {
+  CreditPool pool(2);
+  EXPECT_EQ(pool.exhaustions(), 0u);
+  EXPECT_EQ(pool.min_available(), 2u);
+  EXPECT_TRUE(pool.try_consume());
+  EXPECT_EQ(pool.min_available(), 1u);
+  EXPECT_TRUE(pool.try_consume());
+  EXPECT_EQ(pool.min_available(), 0u);
+  EXPECT_FALSE(pool.try_consume());
+  EXPECT_FALSE(pool.try_consume());
+  EXPECT_EQ(pool.exhaustions(), 2u) << "each empty-pool arrival counts";
+  pool.restore();
+  pool.restore();
+  EXPECT_EQ(pool.min_available(), 0u) << "low-water mark is sticky";
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(CreditTest, CheckQuiescedDetectsLeak) {
+  CreditPool pool(3);
+  pool.check_quiesced();
+  ASSERT_TRUE(pool.try_consume());
+  EXPECT_THROW(pool.check_quiesced(), std::logic_error);
+  pool.restore();
+  pool.check_quiesced();
+}
+
 }  // namespace
 }  // namespace tfsim::capi

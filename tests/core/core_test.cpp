@@ -153,8 +153,93 @@ TEST(ResilienceTest, DeviceLostAtExtremePeriod) {
 
 TEST(ResilienceTest, ClassNames) {
   EXPECT_EQ(to_string(HealthClass::kHealthy), "healthy");
+  EXPECT_EQ(to_string(HealthClass::kRecovering), "recovering");
   EXPECT_EQ(to_string(HealthClass::kDegraded), "degraded");
+  EXPECT_EQ(to_string(HealthClass::kDetached), "detached");
   EXPECT_EQ(to_string(HealthClass::kDeviceLost), "device-lost");
+}
+
+// --- fault matrix -----------------------------------------------------------
+
+TEST(FaultMatrixTest, ClassifyPrecedence) {
+  constexpr double kSla = 100.0;
+  FaultProbe p;
+  p.attached = true;
+  p.completed = 100;
+  p.avg_latency_us = 2.0;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kHealthy);
+
+  p.retries = 5;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kRecovering);
+
+  p.avg_latency_us = 250.0;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kDegraded)
+      << "over-SLA latency outranks recovering";
+  p.avg_latency_us = 2.0;
+  p.failed = 1;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kDegraded)
+      << "surfaced failures are degradation even at low latency";
+
+  p.detached_lenders = 1;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kDetached)
+      << "capacity loss outranks degradation";
+
+  p.attached = false;
+  EXPECT_EQ(classify(p, kSla), HealthClass::kDeviceLost)
+      << "no attach outranks everything";
+}
+
+TEST(FaultMatrixTest, TinyMatrixClassifiesAndBalances) {
+  core::FaultMatrixOptions opts;
+  // Shrink the retry timer so the lossy points stay fast.
+  for (auto& node : opts.scenario.nodes) {
+    node.nic.replay.retry_timeout = sim::from_us(5.0);
+  }
+  opts.periods = {1};
+  opts.loss_rates = {0.0, 1e-2};
+  opts.flap_schedules = {{}};
+  opts.seed = 5;
+  opts.accesses = 300;
+
+  const auto probes = assess_fault_matrix(opts, 1);
+  ASSERT_EQ(probes.size(), 2u);
+
+  const auto& clean = probes[0];
+  EXPECT_TRUE(clean.attached);
+  EXPECT_EQ(clean.health, HealthClass::kHealthy);
+  EXPECT_EQ(clean.completed, 300u);
+  EXPECT_EQ(clean.retries, 0u);
+
+  const auto& lossy = probes[1];
+  EXPECT_TRUE(lossy.attached);
+  EXPECT_EQ(lossy.health, HealthClass::kRecovering);
+  EXPECT_GT(lossy.retries, 0u);
+  EXPECT_GT(lossy.recovered, 0u);
+  EXPECT_EQ(lossy.completed + lossy.failed, 300u);
+  EXPECT_EQ(lossy.frames_lost + lossy.crc_drops,
+            lossy.retries + lossy.abandoned)
+      << "replay ledger must balance";
+  EXPECT_GT(lossy.avg_latency_us, clean.avg_latency_us)
+      << "loss costs latency";
+
+  // Fan-out determinism: the parallel sweep reproduces the serial results
+  // field for field.
+  const auto parallel = assess_fault_matrix(opts, 4);
+  ASSERT_EQ(parallel.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(parallel[i].completed, probes[i].completed) << i;
+    EXPECT_EQ(parallel[i].retries, probes[i].retries) << i;
+    EXPECT_EQ(parallel[i].frames_lost, probes[i].frames_lost) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].avg_latency_us, probes[i].avg_latency_us)
+        << i;
+    EXPECT_EQ(parallel[i].health, probes[i].health) << i;
+  }
+}
+
+TEST(FaultMatrixTest, EmptyFlapAxisRejected) {
+  core::FaultMatrixOptions opts;
+  opts.flap_schedules.clear();
+  EXPECT_THROW(assess_fault_matrix(opts, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -113,6 +113,47 @@ TEST(WindowTest, ZeroEntriesRejected) {
   EXPECT_THROW(RequestWindow(0), std::invalid_argument);
 }
 
+TEST(WindowTest, LatencyClassBorrowsBulkCapacity) {
+  // The reservation is a floor for the latency class, not a ceiling: with
+  // 1 of 4 slots reserved, latency traffic may occupy the entire window.
+  RequestWindow w(4, /*latency_reserved=*/1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.admission_time(0, sim::Priority::kLatency), 0u) << "slot " << i;
+    w.record_completion(1000 + static_cast<sim::Time>(i) * 100,
+                        sim::Priority::kLatency);
+  }
+  EXPECT_EQ(w.in_flight(), 4u) << "latency filled every slot";
+  // The window is now full for *both* classes.  Bulk holds zero of its
+  // 3-slot budget, yet must still wait: no free entries exist.
+  EXPECT_EQ(w.admission_time(0, sim::Priority::kBulk), 1000u)
+      << "bulk waits for the earliest completion even under its cap";
+  EXPECT_EQ(w.stalls(), 1u);
+}
+
+TEST(WindowTest, FullWindowVictimIsEarliestAcrossClasses) {
+  // When the whole window is occupied, the granted slot is the earliest
+  // completion across *both* multisets -- with out-of-order completions
+  // interleaved between the classes.
+  RequestWindow w(3, /*latency_reserved=*/1);
+  EXPECT_EQ(w.admission_time(0, sim::Priority::kBulk), 0u);
+  w.record_completion(900, sim::Priority::kBulk);
+  EXPECT_EQ(w.admission_time(0, sim::Priority::kBulk), 0u);
+  w.record_completion(400, sim::Priority::kBulk);  // overtakes the first
+  EXPECT_EQ(w.admission_time(0, sim::Priority::kLatency), 0u);
+  w.record_completion(650, sim::Priority::kLatency);
+  // Full: bulk {400, 900}, latency {650}.  Earliest is the bulk 400 entry.
+  EXPECT_EQ(w.admission_time(100, sim::Priority::kLatency), 400u)
+      << "victim chosen across classes, not within the caller's own";
+  w.record_completion(700, sim::Priority::kLatency);
+  // Full again: bulk {900}, latency {650, 700}.  Bulk is under its 2-slot
+  // cap, but the window is full; the earliest entry is now in latency.
+  EXPECT_EQ(w.admission_time(450, sim::Priority::kBulk), 650u)
+      << "a bulk arrival may victimize the latency multiset";
+  w.record_completion(800, sim::Priority::kBulk);
+  EXPECT_EQ(w.in_flight(), 3u);
+  EXPECT_EQ(w.stalls(), 2u);
+}
+
 // Regression: occupancy used to be sampled only after insertion in
 // record_completion, never after retirement, so drained states were
 // invisible and the mean was biased upward.  Known schedule:

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/dram.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "nic/nic.hpp"
+#include "nic/replay.hpp"
+#include "nic/timeout.hpp"
+#include "nic/translator.hpp"
+
+namespace tfsim::nic {
+namespace {
+
+// --- replay window timing policy -------------------------------------------
+
+TEST(ReplayWindowTest, ExponentialBackoffLadder) {
+  ReplayConfig cfg;
+  cfg.retry_timeout = 100;
+  cfg.backoff = 2.0;
+  ReplayWindow w(cfg);
+  EXPECT_EQ(w.retry_at(1000, 0), 1100u);
+  EXPECT_EQ(w.retry_at(1000, 1), 1200u);
+  EXPECT_EQ(w.retry_at(1000, 2), 1400u);
+  EXPECT_EQ(w.retry_at(1000, 3), 1800u);
+}
+
+TEST(ReplayWindowTest, UnitBackoffIsFlat) {
+  ReplayConfig cfg;
+  cfg.retry_timeout = 50;
+  cfg.backoff = 1.0;
+  ReplayWindow w(cfg);
+  EXPECT_EQ(w.retry_at(0, 0), 50u);
+  EXPECT_EQ(w.retry_at(0, 7), 50u) << "no growth at backoff 1";
+}
+
+TEST(ReplayWindowTest, SaturatesInsteadOfWrapping) {
+  ReplayWindow w(ReplayConfig{});
+  EXPECT_EQ(w.retry_at(0, 500), sim::kTimeNever)
+      << "2^500 timeouts must saturate, not wrap";
+  EXPECT_EQ(w.retry_at(sim::kTimeNever - 1, 0), sim::kTimeNever);
+}
+
+TEST(ReplayWindowTest, ConfigValidation) {
+  ReplayConfig bad;
+  bad.retry_timeout = 0;
+  EXPECT_THROW(ReplayWindow{bad}, std::invalid_argument);
+  bad.retry_timeout = 100;
+  bad.backoff = 0.5;
+  EXPECT_THROW(ReplayWindow{bad}, std::invalid_argument);
+}
+
+TEST(ReplayWindowTest, StatsCountAndReset) {
+  ReplayWindow w(ReplayConfig{});
+  w.count_retry();
+  w.count_retry();
+  w.count_abandoned();
+  w.count_crc_drop();
+  w.count_frame_lost();
+  w.count_recovered();
+  EXPECT_EQ(w.retries(), 2u);
+  EXPECT_EQ(w.abandoned(), 1u);
+  EXPECT_EQ(w.crc_drops(), 1u);
+  EXPECT_EQ(w.frames_lost(), 1u);
+  EXPECT_EQ(w.recovered(), 1u);
+  w.reset_stats();
+  EXPECT_EQ(w.retries() + w.abandoned() + w.crc_drops() + w.frames_lost() +
+                w.recovered(),
+            0u);
+}
+
+// --- timeout detector saturation -------------------------------------------
+
+TEST(TimeoutTest, HugePeriodSaturatesInsteadOfWrapping) {
+  // discovery_reads x period x tclk overflows uint64 for absurd sweep
+  // points; the probe must read "never detected", not a bogus small time.
+  TimeoutDetector det;
+  const sim::Time tclk = sim::clock_period(320e6);
+  const auto p = det.probe(~std::uint64_t{0}, tclk);
+  EXPECT_FALSE(p.detected);
+  EXPECT_EQ(p.discovery_time, sim::kTimeNever);
+  const auto q = det.probe(std::uint64_t{1} << 60, tclk);
+  EXPECT_FALSE(q.detected);
+  EXPECT_EQ(q.discovery_time, sim::kTimeNever);
+}
+
+// --- NIC retry path over a faulty fabric -----------------------------------
+
+struct FaultyNicFixture {
+  net::Network network;
+  net::NodeId self, lender_node;
+  mem::Dram lender_dram{mem::DramConfig{}};
+  std::unique_ptr<DisaggNic> nic;
+
+  explicit FaultyNicFixture(const net::FaultConfig& faults,
+                            std::uint32_t max_retries = 8,
+                            std::uint32_t detach_threshold = 4) {
+    self = network.add_node("borrower");
+    lender_node = network.add_node("lender");
+    network.connect(self, lender_node, net::LinkConfig{});
+    network.connect(lender_node, self, net::LinkConfig{});
+    if (faults.enabled()) network.enable_faults(faults);
+    NicConfig cfg;
+    cfg.replay.retry_timeout = sim::from_us(5.0);
+    cfg.replay.max_retries = max_retries;
+    cfg.replay.detach_threshold = detach_threshold;
+    nic = std::make_unique<DisaggNic>(cfg, network, self);
+    nic->register_lender(7, lender_node, &lender_dram);
+    nic->translator().add_segment(
+        Segment{mem::Range{0x1000'0000, 16 * sim::kMiB}, 0, 7, "seg"});
+    nic->attach();
+  }
+};
+
+TEST(NicReplayTest, PristinePathNeedsNoRetries) {
+  FaultyNicFixture f(net::FaultConfig{});
+  const auto t = f.nic->remote_access(0, 0x1000'0000, false);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->retries, 0u);
+  EXPECT_EQ(f.nic->replay().retries(), 0u);
+  EXPECT_EQ(f.nic->replay().recovered(), 0u);
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, TotalLossAbandonsAfterBoundedRetries) {
+  net::FaultConfig faults;
+  faults.loss_rate = 1.0;
+  FaultyNicFixture f(faults, /*max_retries=*/2);
+  EXPECT_FALSE(f.nic->remote_access(0, 0x1000'0000, false).has_value());
+  const auto& r = f.nic->replay();
+  EXPECT_EQ(r.abandoned(), 1u);
+  EXPECT_EQ(r.retries(), 2u) << "initial attempt + 2 retransmissions";
+  EXPECT_EQ(r.frames_lost(), 3u) << "every attempt lost a frame";
+  EXPECT_EQ(r.frames_lost() + r.crc_drops(), r.retries() + r.abandoned());
+  EXPECT_EQ(f.nic->failures(), 1u);
+  // The abandonment reclaimed its tag and credit.
+  f.nic->check_quiesced();
+  EXPECT_EQ(f.nic->credits().available(), f.nic->credits().total());
+}
+
+TEST(NicReplayTest, TotalCorruptionCountsCrcDrops) {
+  net::FaultConfig faults;
+  faults.corrupt_rate = 1.0;
+  FaultyNicFixture f(faults, /*max_retries=*/1);
+  EXPECT_FALSE(f.nic->remote_access(0, 0x1000'0000, false).has_value());
+  const auto& r = f.nic->replay();
+  EXPECT_EQ(r.crc_drops(), 2u);
+  EXPECT_EQ(r.frames_lost(), 0u);
+  EXPECT_EQ(r.abandoned(), 1u);
+  EXPECT_EQ(r.retries(), 1u);
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, FlapRecoveryCostsOneTimerInterval) {
+  // A hard-down flap covers the first attempt; the retransmission timer
+  // (5 us) expires outside the window and the retry completes.  Loss turns
+  // into latency -- deterministically, since the flap is scheduled.
+  net::FaultConfig faults;
+  faults.flaps.push_back(
+      net::FlapSpec{0, sim::from_us(3.0), 0.0});
+  FaultyNicFixture f(faults);
+  const auto t = f.nic->remote_access(0, 0x1000'0000, false);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->retries, 1u);
+  const auto& r = f.nic->replay();
+  EXPECT_EQ(r.frames_lost(), 1u);
+  EXPECT_EQ(r.retries(), 1u);
+  EXPECT_EQ(r.recovered(), 1u);
+  EXPECT_EQ(r.abandoned(), 0u);
+  // The access paid the full retry timeout before the second attempt.
+  EXPECT_GT(t->completion - t->issued, sim::from_us(5.0));
+  EXPECT_LT(t->completion - t->issued, sim::from_us(10.0));
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, ModerateLossRecoversEveryAccess) {
+  net::FaultConfig faults;
+  faults.loss_rate = 0.2;
+  faults.seed = 11;
+  FaultyNicFixture f(faults);
+  sim::Time now = 0;
+  std::uint64_t completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto t =
+        f.nic->remote_access(now, 0x1000'0000 + (i % 512) * 128u, i % 4 == 3);
+    if (t.has_value()) {
+      ++completed;
+      now = t->completion;
+    } else {
+      now += sim::from_ms(1.0);
+    }
+  }
+  const auto& r = f.nic->replay();
+  EXPECT_EQ(completed + f.nic->failures(), 200u) << "no access vanished";
+  EXPECT_GT(r.retries(), 0u);
+  EXPECT_GT(r.recovered(), 0u);
+  // The replay ledger balances: every failed attempt became a retry or a
+  // counted abandonment -- the zero-hung-transactions invariant.
+  EXPECT_EQ(r.frames_lost() + r.crc_drops(), r.retries() + r.abandoned());
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, LenderDownAccessorsAndValidation) {
+  FaultyNicFixture f(net::FaultConfig{});
+  EXPECT_THROW(f.nic->set_lender_down(99, 0), std::invalid_argument);
+  f.nic->set_lender_down(7, 1000);
+  EXPECT_FALSE(f.nic->lender_down(7, 999));
+  EXPECT_TRUE(f.nic->lender_down(7, 1000));
+  EXPECT_TRUE(f.nic->lender_down(7, 5000));
+}
+
+TEST(NicReplayTest, DeadLenderDetachesAfterConsecutiveAbandonments) {
+  FaultyNicFixture f(net::FaultConfig{}, /*max_retries=*/1,
+                     /*detach_threshold=*/2);
+  f.nic->set_lender_down(7, 0);
+
+  // First abandoned access: retried, abandoned, lender still mapped.
+  EXPECT_FALSE(f.nic->remote_access(0, 0x1000'0000, false).has_value());
+  EXPECT_EQ(f.nic->replay().abandoned(), 1u);
+  EXPECT_EQ(f.nic->detached_lenders(), 0u);
+  EXPECT_TRUE(f.nic->translator().translate(0x1000'0000).has_value());
+
+  // Second consecutive abandonment crosses the threshold: graceful detach,
+  // segments unmapped.
+  EXPECT_FALSE(
+      f.nic->remote_access(sim::from_ms(1.0), 0x1000'0000, false).has_value());
+  EXPECT_EQ(f.nic->replay().abandoned(), 2u);
+  EXPECT_EQ(f.nic->detached_lenders(), 1u);
+  EXPECT_FALSE(f.nic->translator().translate(0x1000'0000).has_value())
+      << "detach unmaps the dead lender's segments";
+
+  // Later accesses fail fast: no fresh retry ladder into the black hole.
+  const auto retries_before = f.nic->replay().retries();
+  EXPECT_FALSE(
+      f.nic->remote_access(sim::from_ms(2.0), 0x1000'0000, false).has_value());
+  EXPECT_EQ(f.nic->replay().retries(), retries_before);
+  EXPECT_EQ(f.nic->replay().abandoned(), 2u);
+  EXPECT_EQ(f.nic->failures(), 3u);
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, SuccessResetsConsecutiveAbandonCount) {
+  // A lender that dies *later* must not inherit abandonment credit from
+  // earlier recovered turbulence: the counter tracks consecutive failures.
+  net::FaultConfig faults;
+  faults.flaps.push_back(net::FlapSpec{0, sim::from_us(3.0), 0.0});
+  FaultyNicFixture f(faults, /*max_retries=*/1, /*detach_threshold=*/2);
+  // Recovers via retry (flap covers only the first attempt).
+  ASSERT_TRUE(f.nic->remote_access(0, 0x1000'0000, false).has_value());
+  // Now kill the lender; it takes the full threshold to detach.
+  f.nic->set_lender_down(7, sim::from_ms(1.0));
+  EXPECT_FALSE(
+      f.nic->remote_access(sim::from_ms(1.0), 0x1000'0000, false).has_value());
+  EXPECT_EQ(f.nic->detached_lenders(), 0u) << "one abandonment is not enough";
+  EXPECT_FALSE(
+      f.nic->remote_access(sim::from_ms(2.0), 0x1000'0000, false).has_value());
+  EXPECT_EQ(f.nic->detached_lenders(), 1u);
+  f.nic->check_quiesced();
+}
+
+TEST(NicReplayTest, ResetStatsClearsReplayCounters) {
+  net::FaultConfig faults;
+  faults.loss_rate = 1.0;
+  FaultyNicFixture f(faults, /*max_retries=*/1);
+  EXPECT_FALSE(f.nic->remote_access(0, 0x1000'0000, false).has_value());
+  EXPECT_GT(f.nic->replay().frames_lost(), 0u);
+  f.nic->reset_stats();
+  EXPECT_EQ(f.nic->replay().frames_lost(), 0u);
+  EXPECT_EQ(f.nic->replay().retries(), 0u);
+  EXPECT_EQ(f.nic->replay().abandoned(), 0u);
+}
+
+}  // namespace
+}  // namespace tfsim::nic

@@ -101,5 +101,71 @@ TEST(ClusterTest, AttachTimesOutAtExtremePeriod) {
   EXPECT_FALSE(tb.attach_remote());
 }
 
+// --- fault wiring ----------------------------------------------------------
+
+TEST(ClusterFaultTest, LinkFaultsReachTheNetwork) {
+  scenario::ScenarioSpec spec = scenario::paper_two_node();
+  spec.faults.link.loss_rate = 0.01;
+  spec.faults.link.seed = 3;
+  Cluster cluster(spec);
+  EXPECT_TRUE(cluster.network().faults_enabled());
+
+  Cluster pristine(scenario::paper_two_node());
+  EXPECT_FALSE(pristine.network().faults_enabled());
+}
+
+TEST(ClusterFaultTest, UnknownKillLenderNameRejected) {
+  scenario::ScenarioSpec spec = scenario::paper_two_node();
+  spec.faults.kill_lender = "no-such-node";
+  EXPECT_THROW(Cluster{spec}, std::invalid_argument);
+}
+
+TEST(ClusterFaultTest, KilledLenderDetachesGracefully) {
+  scenario::ScenarioSpec spec = scenario::paper_two_node();
+  spec.faults.kill_lender = "lender";
+  spec.faults.kill_at_us = 0.0;
+  // Fast retry ladder so the test stays cheap.
+  spec.nodes[0].nic.replay.retry_timeout = sim::from_us(5.0);
+  spec.nodes[0].nic.replay.max_retries = 1;
+  spec.nodes[0].nic.replay.detach_threshold = 2;
+  Cluster cluster(spec);
+  ASSERT_TRUE(cluster.attach_remote()) << "attach is host-side, still works";
+
+  auto& nic = cluster.borrower().nic();
+  const mem::Addr addr = cluster.remote_base();
+  EXPECT_FALSE(nic.remote_access(0, addr, false).has_value());
+  EXPECT_EQ(nic.detached_lenders(), 0u);
+  EXPECT_FALSE(nic.remote_access(sim::from_ms(1.0), addr, false).has_value());
+  EXPECT_EQ(nic.detached_lenders(), 1u)
+      << "consecutive abandonments detach the dead lender";
+  EXPECT_GT(nic.replay().abandoned(), 0u);
+  nic.check_quiesced();
+}
+
+TEST(ClusterFaultTest, KillLenderMidRun) {
+  // The lender dies *after* traffic has flowed: earlier accesses complete,
+  // later ones retry into the void and detach.
+  scenario::ScenarioSpec spec = scenario::paper_two_node();
+  spec.nodes[0].nic.replay.retry_timeout = sim::from_us(5.0);
+  spec.nodes[0].nic.replay.max_retries = 1;
+  spec.nodes[0].nic.replay.detach_threshold = 2;
+  Cluster cluster(spec);
+  ASSERT_TRUE(cluster.attach_remote());
+
+  auto& nic = cluster.borrower().nic();
+  const mem::Addr addr = cluster.remote_base();
+  const auto before = nic.remote_access(0, addr, false);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->retries, 0u);
+
+  cluster.kill_lender(0, sim::from_ms(1.0));
+  EXPECT_FALSE(
+      nic.remote_access(sim::from_ms(1.0), addr, false).has_value());
+  EXPECT_FALSE(
+      nic.remote_access(sim::from_ms(2.0), addr, false).has_value());
+  EXPECT_EQ(nic.detached_lenders(), 1u);
+  nic.check_quiesced();
+}
+
 }  // namespace
 }  // namespace tfsim::node

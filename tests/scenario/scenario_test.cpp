@@ -99,6 +99,79 @@ TEST(ScenarioJsonTest, UnitsBearingKeysParse) {
   EXPECT_EQ(spec.sweep.periods, (std::vector<std::uint64_t>{1, 100}));
 }
 
+TEST(ScenarioJsonTest, FaultsBlockParses) {
+  const ScenarioSpec spec = parse(R"({
+    "name": "faulty",
+    "nodes": [
+      {"name": "b", "role": "borrower",
+       "nic": {"retry_timeout_us": 10, "retry_backoff": 1.5,
+               "max_retries": 3, "detach_threshold": 2}},
+      {"name": "l", "role": "lender"}
+    ],
+    "faults": {
+      "loss_rate": 0.01,
+      "corrupt_rate": 0.001,
+      "seed": 9,
+      "flaps": [{"at_us": 50, "for_us": 25, "factor": 0},
+                {"at_us": 120, "for_us": 40, "factor": 0.25}],
+      "kill_lender": {"node": "l", "at_us": 200}
+    }
+  })");
+  EXPECT_TRUE(spec.faults.enabled());
+  EXPECT_DOUBLE_EQ(spec.faults.link.loss_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.faults.link.corrupt_rate, 0.001);
+  EXPECT_EQ(spec.faults.link.seed, 9u);
+  ASSERT_EQ(spec.faults.link.flaps.size(), 2u);
+  EXPECT_EQ(spec.faults.link.flaps[0].start, sim::from_us(50.0));
+  EXPECT_EQ(spec.faults.link.flaps[0].duration, sim::from_us(25.0));
+  EXPECT_TRUE(spec.faults.link.flaps[0].down());
+  EXPECT_DOUBLE_EQ(spec.faults.link.flaps[1].bandwidth_factor, 0.25);
+  EXPECT_EQ(spec.faults.kill_lender, "l");
+  EXPECT_DOUBLE_EQ(spec.faults.kill_at_us, 200.0);
+  // The nic retry knobs landed in the replay config.
+  EXPECT_EQ(spec.nodes[0].nic.replay.retry_timeout, sim::from_us(10.0));
+  EXPECT_DOUBLE_EQ(spec.nodes[0].nic.replay.backoff, 1.5);
+  EXPECT_EQ(spec.nodes[0].nic.replay.max_retries, 3u);
+  EXPECT_EQ(spec.nodes[0].nic.replay.detach_threshold, 2u);
+}
+
+TEST(ScenarioJsonTest, FaultsDefaultToPristine) {
+  const ScenarioSpec spec = parse(R"({"nodes": [{"name": "b"}]})");
+  EXPECT_FALSE(spec.faults.enabled());
+  EXPECT_TRUE(spec.faults.kill_lender.empty());
+}
+
+TEST(ScenarioJsonTest, FaultySpecRoundTripsExactly) {
+  ScenarioSpec spec = *builtin("paper_twonode");
+  spec.faults.link.loss_rate = 1e-3;
+  spec.faults.link.flaps.push_back(
+      net::FlapSpec{sim::from_us(50.0), sim::from_us(25.0), 0.0});
+  spec.faults.kill_lender = "lender";
+  spec.faults.kill_at_us = 300.0;
+  const std::string dumped = resolved_json(spec);
+  EXPECT_EQ(resolved_json(parse(dumped)), dumped);
+}
+
+TEST(ScenarioJsonTest, FaultsUnknownKeysRejected) {
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "faults": {"loss": 0.1}})"),
+               JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "faults": {"flaps": [{"at_us": 1, "dur_us": 2}]}})"),
+               JsonError);
+  EXPECT_THROW(
+      parse(R"({"nodes": [{"name": "b"}],
+                "faults": {"kill_lender": {"node": "l", "when_us": 5}}})"),
+      JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "faults": {"kill_lender": {"at_us": 5}}})"),
+               JsonError)
+      << "kill_lender requires a node name";
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b",
+                          "nic": {"retry_us": 10}}]})"),
+               JsonError);
+}
+
 TEST(ScenarioJsonTest, UnknownKeysRejected) {
   EXPECT_THROW(parse(R"({"name": "x", "bogus": 1})"), JsonError);
   EXPECT_THROW(parse(R"({"nodes": [{"name": "b", "typo_role": "borrower"}]})"),

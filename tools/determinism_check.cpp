@@ -28,7 +28,11 @@
 //   6. the Testbed -> Cluster refactor guard: the two-node testbed wired
 //      by hand (the pre-refactor assembly order) and the one built by
 //      node::Cluster from the paper scenario must produce byte-identical
-//      mini fig2/fig6-style result tables.
+//      mini fig2/fig6-style result tables;
+//   7. the fault layer: a small (period x loss x flap) resilience matrix
+//      with NIC retry/replay active, computed serially and on an 8-worker
+//      pool, must produce byte-identical probe rows -- the seeded fault
+//      streams are pure functions of the spec, never of scheduling.
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
@@ -47,6 +51,7 @@
 #include "axi/rate_gate.hpp"
 #include "axi/router.hpp"
 #include "axi/testbench.hpp"
+#include "core/resilience.hpp"
 #include "ctrl/control_plane.hpp"
 #include "ctrl/policy.hpp"
 #include "ctrl/registry.hpp"
@@ -388,6 +393,63 @@ bool scenario_cluster_refactor(std::ostringstream& out) {
   return match;
 }
 
+/// Returns false when the serial and 8-worker fault matrices diverge.  Each
+/// point builds its own Cluster with loss/corruption/flaps active, so this
+/// covers the whole fault stack: FaultPlan streams, FaultyLink decoration,
+/// NIC retry/backoff, and the abandonment/detach bookkeeping.
+bool scenario_faults(std::uint64_t seed, std::ostringstream& out) {
+  namespace core = tfsim::core;
+  namespace net = tfsim::net;
+  namespace sim = tfsim::sim;
+
+  core::FaultMatrixOptions opts;
+  opts.periods = {1, 100};
+  opts.loss_rates = {0.0, 1e-3, 1e-2};
+  opts.flap_schedules = {
+      {},
+      {net::FlapSpec{sim::from_us(100.0), sim::from_us(50.0), 0.0}},
+  };
+  opts.corrupt_rate = 1e-3;
+  opts.seed = seed;
+  opts.accesses = 600;
+
+  const auto digest_rows = [](const std::vector<core::FaultProbe>& probes) {
+    std::ostringstream rows;
+    for (const auto& p : probes) {
+      rows << p.point.period << "," << p.point.loss_rate << ","
+           << p.point.flap_schedule << "," << core::to_string(p.health) << ","
+           << p.completed << "," << p.failed << "," << p.retries << ","
+           << p.abandoned << "," << p.crc_drops << "," << p.frames_lost << ","
+           << p.recovered << "," << p.detached_lenders << ","
+           << p.avg_latency_us << "\n";
+    }
+    return rows.str();
+  };
+
+  const auto serial_probes = core::assess_fault_matrix(opts, 1);
+  const std::string serial = digest_rows(serial_probes);
+  const std::string parallel = digest_rows(core::assess_fault_matrix(opts, 8));
+
+  Digest d;
+  std::uint64_t retried = 0;
+  for (const char c : serial) d.add(static_cast<std::uint64_t>(c));
+  for (const auto& p : serial_probes) retried += p.retries;
+  const bool match = serial == parallel && retried > 0;
+  out << "faults: digest=" << d.h << " retries=" << retried
+      << " serial==parallel=" << (serial == parallel ? "yes" : "NO") << "\n";
+  if (serial != parallel) {
+    std::fprintf(stderr,
+                 "determinism_check: fault matrix diverged\n"
+                 "--- serial ---\n%s--- parallel ---\n%s",
+                 serial.c_str(), parallel.c_str());
+  } else if (retried == 0) {
+    std::fprintf(stderr,
+                 "determinism_check: fault matrix exercised no retries -- "
+                 "the determinism claim covered nothing\n");
+  }
+  return match;
+}
+
 std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
@@ -396,6 +458,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   sweep_ok = scenario_settle_equiv(seed, out) && sweep_ok;
   sweep_ok = scenario_sweep(seed, out) && sweep_ok;
   sweep_ok = scenario_cluster_refactor(out) && sweep_ok;
+  sweep_ok = scenario_faults(seed, out) && sweep_ok;
   return out.str();
 }
 
