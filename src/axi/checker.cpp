@@ -189,19 +189,12 @@ void FlowChecker::finish(std::uint64_t cycle) {
     std::ostringstream os;
     os << in_flight() << " beat(s) entered but never exited ("
        << allowed_in_flight_ << " may legitimately remain buffered)";
-    // Name the stranded beat with the lowest TDEST (deterministic choice:
-    // unordered_map iteration order must not leak into reports).
-    const std::deque<Beat>* stranded = nullptr;
-    std::uint32_t stranded_dest = 0;
+    // pending_ is TDEST-ordered, so the first non-empty queue names the
+    // stranded beat with the lowest TDEST.
     for (const auto& [dest, q] : pending_) {
       if (q.empty()) continue;
-      if (stranded == nullptr || dest < stranded_dest) {
-        stranded = &q;
-        stranded_dest = dest;
-      }
-    }
-    if (stranded != nullptr) {
-      os << "; oldest stranded beat: " << beat_repr(stranded->front());
+      os << "; oldest stranded beat: " << beat_repr(q.front());
+      break;
     }
     sink_.report(
         Violation{ViolationKind::kBeatDropped, name(), cycle, os.str()});

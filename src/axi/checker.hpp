@@ -28,9 +28,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "axi/module.hpp"
@@ -179,7 +179,9 @@ class FlowChecker final : public Module {
   std::vector<const Wire*> entries_;
   std::vector<const Wire*> exits_;
   ViolationSink& sink_;
-  std::unordered_map<std::uint32_t, std::deque<Beat>> pending_;  // per TDEST
+  // Ordered by TDEST so end-of-test reports never depend on hash layout
+  // (simlint R2: no unordered iteration may feed serialized output).
+  std::map<std::uint32_t, std::deque<Beat>> pending_;
   std::uint64_t entered_ = 0;
   std::uint64_t exited_ = 0;
   std::uint64_t allowed_in_flight_ = 0;

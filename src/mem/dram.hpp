@@ -12,6 +12,7 @@
 #include <string>
 
 #include "mem/address.hpp"
+#include "sim/domain.hpp"
 #include "sim/server.hpp"
 #include "sim/units.hpp"
 
@@ -35,6 +36,7 @@ class Dram {
   /// call-order approximation from penalizing bypassing traffic.
   sim::Time access(sim::Time now, std::uint64_t bytes,
                    sim::Priority prio = sim::Priority::kBulk) {
+    TFSIM_DOMAIN_TOUCH("Dram::access");
     return server_.request(now, bytes, prio);
   }
 
@@ -56,6 +58,8 @@ class Dram {
     return elapsed ? sim::to_sec(server_.busy_time()) / sim::to_sec(elapsed)
                    : 0.0;
   }
+
+  TFSIM_DOMAIN_OWNED
 
  private:
   DramConfig cfg_;

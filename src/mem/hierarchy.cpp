@@ -15,6 +15,7 @@ CacheHierarchy::CacheHierarchy(const std::vector<LevelConfig>& levels) {
 }
 
 CacheHierarchy::Result CacheHierarchy::access(Addr addr, bool write) {
+  TFSIM_DOMAIN_TOUCH("CacheHierarchy::access");
   Result res;
   const auto n = levels_.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -38,16 +39,19 @@ CacheHierarchy::Result CacheHierarchy::access(Addr addr, bool write) {
 }
 
 void CacheHierarchy::invalidate(Addr addr) {
+  TFSIM_DOMAIN_TOUCH("CacheHierarchy::invalidate");
   for (auto& l : levels_) l->invalidate(addr);
 }
 
 std::uint64_t CacheHierarchy::invalidate_range(const Range& range) {
+  TFSIM_DOMAIN_TOUCH("CacheHierarchy::invalidate_range");
   std::uint64_t dropped = 0;
   for (auto& l : levels_) dropped += l->invalidate_range(range);
   return dropped;
 }
 
 void CacheHierarchy::flush() {
+  TFSIM_DOMAIN_TOUCH("CacheHierarchy::flush");
   for (auto& l : levels_) l->flush();
 }
 

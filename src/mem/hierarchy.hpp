@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/cache.hpp"
+#include "sim/domain.hpp"
 #include "sim/units.hpp"
 
 namespace tfsim::mem {
@@ -50,6 +51,8 @@ class CacheHierarchy {
 
   /// Total capacity across levels (the paper sizes STREAM beyond this).
   std::uint64_t total_capacity() const;
+
+  TFSIM_DOMAIN_OWNED
 
  private:
   std::vector<std::unique_ptr<SetAssocCache>> levels_;

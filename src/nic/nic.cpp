@@ -129,9 +129,17 @@ std::optional<sim::Time> DisaggNic::attempt_once(sim::Time depart,
     return std::nullopt;
   }
   t.tx_done = req.arrival;
-  // 4. Lender NIC + lender memory bus (shared with local apps: MCLN).
-  t.mem_done = lender.dram->access(req.arrival + lender.nic_latency,
-                                   mem::kCacheLineBytes, prio);
+  // 4. Lender NIC + lender memory bus (shared with local apps: MCLN).  The
+  //    frame has crossed the network boundary, so activity transfers to the
+  //    lender's domain -- the one mutation path that legitimately leaves the
+  //    borrower's call graph, and exactly what PDES will turn into a
+  //    cross-partition message.
+  {
+    const sim::DomainHandle& ld = lender.dram->tfsim_domain();
+    const sim::DomainGuard g(ld.checker(), ld.id(), "net:deliver");
+    t.mem_done = lender.dram->access(req.arrival + lender.nic_latency,
+                                     mem::kCacheLineBytes, prio);
+  }
   // 5. Response path (data-carrying for reads).
   const std::uint64_t resp_bytes = write ? kCmdOnlyBytes : kDataBytes;
   const auto resp = network_.deliver_ex(t.mem_done + lender.nic_latency,
@@ -167,6 +175,7 @@ void DisaggNic::note_abandoned(std::uint32_t lender_id, Lender& lender) {
 std::optional<AccessTrace> DisaggNic::remote_access(sim::Time now,
                                                     mem::Addr addr, bool write,
                                                     sim::Priority prio) {
+  TFSIM_DOMAIN_TOUCH("DisaggNic::remote_access");
   if (!attached_ || device_lost_) {
     ++failures_;
     return std::nullopt;

@@ -21,6 +21,7 @@
 #include "nic/timeout.hpp"
 #include "nic/translator.hpp"
 #include "nic/window.hpp"
+#include "sim/domain.hpp"
 #include "sim/stats.hpp"
 #include "sim/units.hpp"
 
@@ -126,6 +127,8 @@ class DisaggNic {
   /// End-to-end remote access latency (us).
   const sim::Histogram& latency_us() const { return latency_us_; }
   void reset_stats();
+
+  TFSIM_DOMAIN_OWNED
 
  private:
   struct Lender {

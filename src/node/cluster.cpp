@@ -36,6 +36,7 @@ Cluster::Cluster(const scenario::ScenarioSpec& spec) : spec_(spec) {
 }
 
 void Cluster::build_nodes() {
+  domains_.bind_engine(&engine_);
   // Expansion order is declaration order, so net ids, registry ids and the
   // policy's tie-breaks are all fixed by the spec alone.
   for (const auto& decl : spec_.nodes) {
@@ -43,6 +44,7 @@ void Cluster::build_nodes() {
       nodes_.push_back(
           std::make_unique<Node>(to_node_spec(decl, i), engine_, network_));
       Node* n = nodes_.back().get();
+      n->bind_domain(domains_, domains_.add_domain(n->name()));
       (decl.role == scenario::Role::kBorrower ? borrowers_ : lenders_)
           .push_back(n);
     }

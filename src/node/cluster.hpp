@@ -22,6 +22,7 @@
 #include "node/context.hpp"
 #include "node/node.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 
 namespace tfsim::node {
@@ -32,6 +33,9 @@ class Cluster {
 
   sim::Engine& engine() { return engine_; }
   net::Network& network() { return network_; }
+  /// Domain-ownership checker (simlint R5's runtime half).  Every node gets
+  /// its own domain at assembly; mode comes from TFSIM_DOMAIN_CHECK.
+  sim::DomainChecker& domains() { return domains_; }
   ctrl::NodeRegistry& registry() { return registry_; }
   ctrl::ControlPlane& control_plane() { return *cp_; }
   const scenario::ScenarioSpec& spec() const { return spec_; }
@@ -84,6 +88,7 @@ class Cluster {
   scenario::ScenarioSpec spec_;
   sim::Engine engine_;
   net::Network network_;
+  sim::DomainChecker domains_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Node*> borrowers_;
   std::vector<Node*> lenders_;

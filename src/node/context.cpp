@@ -70,10 +70,18 @@ void MemContext::access(mem::Addr addr, bool write, bool dependent) {
   ++stats_.accesses;
   now_ += cfg_.issue_cost;
 
-  const auto r = node_.caches().access(addr, write);
+  // Domain guards are scoped tightly around the calls that mutate this
+  // node's state, never around sync_engine(): engine callbacks belong to
+  // whichever domain scheduled them and open their own guards.
+  const sim::DomainHandle& dom = node_.tfsim_domain();
+  const auto r = [&] {
+    const sim::DomainGuard g(dom.checker(), dom.id(), "ctx:cache");
+    return node_.caches().access(addr, write);
+  }();
   // Dirty lines evicted from the LLC leave the node asynchronously.
   if (!r.memory_writebacks.empty()) {
     sync_engine();
+    const sim::DomainGuard g(dom.checker(), dom.id(), "ctx:writeback");
     for (const mem::Addr line : r.memory_writebacks) posted_writeback(line);
   }
   if (r.hit_level >= 0) {
@@ -92,7 +100,10 @@ void MemContext::access(mem::Addr addr, bool write, bool dependent) {
   if (dependent) {
     sync_engine();
     const sim::Time issued = now_;
-    const sim::Time done = miss_path(addr);
+    const sim::Time done = [&] {
+      const sim::DomainGuard g(dom.checker(), dom.id(), "ctx:miss");
+      return miss_path(addr);
+    }();
     stats_.miss_latency_us.add(sim::to_us(done - issued));
     if (done > now_) {
       stats_.stall_time += done - now_;
@@ -102,7 +113,10 @@ void MemContext::access(mem::Addr addr, bool write, bool dependent) {
     reserve_slot();
     sync_engine();
     const sim::Time issued = now_;
-    const sim::Time done = miss_path(addr);
+    const sim::Time done = [&] {
+      const sim::DomainGuard g(dom.checker(), dom.id(), "ctx:miss");
+      return miss_path(addr);
+    }();
     stats_.miss_latency_us.add(sim::to_us(done - issued));
     outstanding_.push(done);
   }

@@ -9,6 +9,7 @@ PageMigrator::PageMigrator(Node& node, const MigrationConfig& cfg)
     : node_(node), cfg_(cfg) {}
 
 bool PageMigrator::on_remote_access(mem::Addr addr, sim::Time now) {
+  TFSIM_DOMAIN_TOUCH("PageMigrator::on_remote_access");
   ++stats_.remote_accesses_observed;
   const std::uint64_t epoch = access_counter_++ / cfg_.epoch_accesses;
   const mem::Addr page = addr & ~(cfg_.page_bytes - 1);

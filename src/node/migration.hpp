@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "mem/address.hpp"
+#include "sim/domain.hpp"
 #include "sim/units.hpp"
 
 namespace tfsim::node {
@@ -53,6 +54,8 @@ class PageMigrator {
 
   const MigrationConfig& config() const { return cfg_; }
   const MigrationStats& stats() const { return stats_; }
+
+  TFSIM_DOMAIN_OWNED
 
  private:
   struct PageState {

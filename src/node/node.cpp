@@ -27,6 +27,27 @@ nic::DisaggNic& Node::nic() {
   return *nic_;
 }
 
+void Node::enable_migration(const MigrationConfig& cfg) {
+  migrator_ = std::make_unique<PageMigrator>(*this, cfg);
+  // A node already bound into a domain checker passes ownership through to
+  // daemons started later.
+  if (tfsim_domain_h_.bound()) {
+    migrator_->tfsim_domain().bind(*tfsim_domain_h_.checker(),
+                                   tfsim_domain_h_.id(),
+                                   spec_.name + "/migrator");
+  }
+}
+
+void Node::bind_domain(sim::DomainChecker& checker, sim::DomainId domain) {
+  tfsim_domain_h_.bind(checker, domain, spec_.name);
+  dram_.tfsim_domain().bind(checker, domain, dram_.name());
+  caches_.tfsim_domain().bind(checker, domain, spec_.name + "/caches");
+  if (nic_) nic_->tfsim_domain().bind(checker, domain, spec_.name + "/nic");
+  if (migrator_) {
+    migrator_->tfsim_domain().bind(checker, domain, spec_.name + "/migrator");
+  }
+}
+
 void Node::refresh_arenas() {
   // Remote regions appear via hot-plug; extend the remote arena when new
   // bytes show up.  Hot-plugged regions are contiguous (control plane bumps
@@ -54,6 +75,7 @@ Node::Arena& Node::arena_for(mem::Backing backing) {
 }
 
 mem::Addr Node::allocate(std::uint64_t bytes, Placement placement) {
+  TFSIM_DOMAIN_TOUCH("Node::allocate");
   if (bytes == 0) bytes = mem::kCacheLineBytes;
   // Line-align sizes so distinct allocations never share a cache line.
   bytes = (bytes + mem::kCacheLineBytes - 1) & ~std::uint64_t{mem::kCacheLineBytes - 1};

@@ -14,6 +14,7 @@
 #include "nic/nic.hpp"
 #include "node/migration.hpp"
 #include "node/spec.hpp"
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 
 namespace tfsim::node {
@@ -53,10 +54,16 @@ class Node {
   }
 
   /// Turn on the hot-page migration daemon (off by default).
-  void enable_migration(const MigrationConfig& cfg) {
-    migrator_ = std::make_unique<PageMigrator>(*this, cfg);
-  }
+  void enable_migration(const MigrationConfig& cfg);
   PageMigrator* migrator() { return migrator_.get(); }
+
+  /// Register this node and every sim object it owns (DRAM, caches, NIC,
+  /// migrator) with `checker` under domain `domain`.  Cluster calls this
+  /// once per node at assembly; standalone nodes stay unbound (all
+  /// ownership checks free).
+  void bind_domain(sim::DomainChecker& checker, sim::DomainId domain);
+
+  TFSIM_DOMAIN_OWNED
 
  private:
   struct Arena {

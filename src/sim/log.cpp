@@ -8,6 +8,9 @@ namespace tfsim::sim {
 
 namespace {
 // Atomic: sweep worker threads (sim/sweep.hpp) read the level concurrently.
+// Host-side observability state, never simulation state: it cannot perturb
+// event order or results, so it is exempt from the no-globals rule.
+// simlint: allow(R3): process-wide log level is host-side, not sim state
 std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("TFSIM_LOG")) {
     return parse_log_level(env);

@@ -1,0 +1,152 @@
+// Regression tests for simlint rule R2's end-to-end property: serialized
+// output (protocol reports, stranded-beat messages, CSV tables) must be
+// byte-identical across runs regardless of container insertion order or
+// hash-table layout.  These are the paths where unordered_map iteration
+// used to be able to leak hash-seed dependence into reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "axi/checker.hpp"
+#include "axi/stream.hpp"
+#include "core/protocol_report.hpp"
+#include "core/report.hpp"
+
+namespace tfsim {
+namespace {
+
+// Push one fired beat through a wire so a FlowChecker entry books it.
+void enter_beat(axi::Wire& w, axi::FlowChecker& fc, std::uint64_t id,
+                std::uint32_t dest, std::uint64_t cycle) {
+  w.set_beat(axi::Beat{id, dest, 0, true});
+  w.set_valid(true);
+  w.set_ready(true);
+  fc.tick(cycle);
+  w.set_valid(false);
+  w.set_ready(false);
+}
+
+// Feed `dests` (one stranded beat each) into a fresh FlowChecker and return
+// the end-of-test violation message.
+std::string stranded_report(const std::vector<std::uint32_t>& dests) {
+  axi::ViolationSink sink;
+  sink.set_mode(axi::CheckMode::kCollect);
+  axi::Wire in;
+  axi::FlowChecker fc("region", {&in}, {}, sink);
+  std::uint64_t cycle = 0;
+  for (const std::uint32_t d : dests) {
+    enter_beat(in, fc, /*id=*/1000 + d, d, cycle++);
+  }
+  fc.finish(cycle);
+  EXPECT_EQ(sink.total(), 1u);
+  return sink.violations().empty() ? std::string()
+                                   : sink.violations().front().to_string();
+}
+
+TEST(SerializationDeterminismTest, StrandedBeatReportIgnoresInsertionOrder) {
+  // The scoreboard accumulates per-TDEST queues; the report names the
+  // stranded beat with the lowest TDEST.  Ascending, descending, and
+  // shuffled insertion orders must serialize the same bytes.
+  std::vector<std::uint32_t> ascending;
+  for (std::uint32_t d = 0; d < 64; ++d) ascending.push_back(d * 7 + 3);
+  std::vector<std::uint32_t> descending(ascending.rbegin(), ascending.rend());
+  std::vector<std::uint32_t> shuffled = ascending;
+  // Deterministic shuffle (no ambient RNG in tests either).
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    std::swap(shuffled[i], shuffled[(i * 31 + 17) % shuffled.size()]);
+  }
+
+  const std::string a = stranded_report(ascending);
+  const std::string b = stranded_report(descending);
+  const std::string c = stranded_report(shuffled);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a.find("id=1003"), std::string::npos)
+      << "lowest TDEST (3) must name the stranded beat: " << a;
+}
+
+TEST(SerializationDeterminismTest, ViolationSummaryIgnoresReportOrder) {
+  using axi::Violation;
+  using axi::ViolationKind;
+  std::vector<Violation> violations;
+  for (int i = 0; i < 5; ++i) {
+    violations.push_back(Violation{ViolationKind::kBeatDropped, "w", 10, "x"});
+    violations.push_back(Violation{ViolationKind::kBeatReordered, "w", 11, "y"});
+  }
+  violations.push_back(Violation{ViolationKind::kPayloadMutated, "w", 12, "z"});
+
+  const auto render = [](const std::vector<Violation>& vs) {
+    axi::ViolationSink sink;
+    sink.set_mode(axi::CheckMode::kCollect);
+    for (const auto& v : vs) sink.report(v);
+    std::ostringstream os;
+    core::violation_summary("audit", sink).print(os);
+    return os.str();
+  };
+
+  const std::string forward = render(violations);
+  std::vector<Violation> reversed(violations.rbegin(), violations.rend());
+  const std::string backward = render(reversed);
+  EXPECT_EQ(forward, backward)
+      << "summary tables must not depend on report order";
+  EXPECT_NE(forward.find("TOTAL"), std::string::npos);
+}
+
+TEST(SerializationDeterminismTest, MetricsDigestSurvivesForcedRehash) {
+  // The approved pattern for hash-map accumulators feeding reports: keyed
+  // accumulation may be unordered, but serialization extracts and sorts.
+  // Forcing wildly different bucket counts (what a hash-seed change does to
+  // iteration order) must not move a byte of output.
+  const auto serialize = [](std::size_t bucket_hint,
+                            const std::vector<std::uint32_t>& order) {
+    std::unordered_map<std::uint32_t, std::uint64_t> acc;
+    acc.rehash(bucket_hint);
+    for (const std::uint32_t k : order) acc[k % 17] += k;
+    // Extract-and-sort before serializing (the R2-clean idiom).
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> rows(acc.begin(),
+                                                              acc.end());
+    std::sort(rows.begin(), rows.end());
+    core::Table t("metrics", {"key", "sum"});
+    for (const auto& [k, v] : rows) {
+      t.row({std::to_string(k), std::to_string(v)});
+    }
+    std::ostringstream os;
+    t.print(os);
+    return os.str();
+  };
+
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 500; ++i) keys.push_back(i * 131 + 7);
+  std::vector<std::uint32_t> reversed(keys.rbegin(), keys.rend());
+
+  const std::string small_table = serialize(1, keys);
+  const std::string big_table = serialize(1 << 14, keys);
+  const std::string reordered = serialize(257, reversed);
+  EXPECT_EQ(small_table, big_table);
+  EXPECT_EQ(small_table, reordered);
+}
+
+TEST(SerializationDeterminismTest, TableBytesAreStableAcrossRuns) {
+  // Two independently built, identically populated tables print and CSV
+  // identically -- the Table layer adds no ambient state (timestamps,
+  // pointers, locale).
+  const auto build = [] {
+    core::Table t("latency", {"period", "p99_us"});
+    t.row({"1", core::Table::num(1.71)});
+    t.row({"40", core::Table::num(18.5)});
+    return t;
+  };
+  std::ostringstream a, b;
+  build().print(a);
+  build().print(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+}  // namespace
+}  // namespace tfsim

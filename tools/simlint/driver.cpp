@@ -1,0 +1,247 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace tfsim::simlint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string normalize_rel(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path abs = fs::weakly_canonical(p, ec);
+  if (ec) abs = p;
+  fs::path rel = abs.lexically_relative(root);
+  std::string out = rel.generic_string();
+  if (starts_with(out, "./")) out = out.substr(2);
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+RuleScope scope_for(const std::string& rel_path) {
+  RuleScope s;
+  if (starts_with(rel_path, "tools/simlint/testdata/")) return s;
+  if (starts_with(rel_path, "src/")) {
+    s.r1 = s.r2 = s.r3 = s.r4 = s.r5 = true;
+    return s;
+  }
+  if (starts_with(rel_path, "tools/")) {
+    // Tools feed digests and reports; they get every sim-path rule except
+    // R5 (no per-node sim state lives there).
+    s.r1 = s.r2 = s.r3 = s.r4 = true;
+    return s;
+  }
+  return s;
+}
+
+bool lint_file(const std::string& path, const std::string& rel,
+               const RuleScope& scope, const AnalysisContext& ctx,
+               std::vector<Finding>& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    out.push_back(Finding{"ERR", rel, 0, "unreadable",
+                          "cannot read file for analysis"});
+    return false;
+  }
+  const LexedFile lexed = lex(text);
+  std::vector<Finding> f = analyze(rel, lexed, scope, ctx);
+  out.insert(out.end(), f.begin(), f.end());
+  return true;
+}
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::size_t b = 0;
+    while (b < line.size() && line[b] == ' ') ++b;
+    line = line.substr(b);
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+RunResult run(const DriverConfig& cfg) {
+  RunResult result;
+  const fs::path root = fs::weakly_canonical(fs::path(cfg.root));
+
+  // ---- gather files -----------------------------------------------------
+  std::set<std::string> rel_files;  // ordered: deterministic scan order
+
+  if (!cfg.compile_commands.empty()) {
+    std::string text;
+    if (!read_file(cfg.compile_commands, text)) {
+      result.findings.push_back(
+          Finding{"ERR", cfg.compile_commands, 0, "unreadable",
+                  "cannot read compile_commands.json"});
+      result.new_findings = result.findings;
+      return result;
+    }
+    const scenario::Json db = scenario::Json::parse(text);
+    for (const scenario::Json& entry : db.items()) {
+      const scenario::Json* file = entry.find("file");
+      if (file == nullptr) continue;
+      fs::path p(file->as_string());
+      if (!p.is_absolute()) {
+        if (const scenario::Json* dir = entry.find("directory")) {
+          p = fs::path(dir->as_string()) / p;
+        }
+      }
+      const std::string rel = normalize_rel(p, root);
+      if (scope_for(rel).any()) rel_files.insert(rel);
+    }
+  }
+
+  // Headers are not compile_commands entries; sweep src/ and tools/ for
+  // them (plus any sources a unity build might hide).
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".hpp" && ext != ".h" && ext != ".cpp" && ext != ".cc") {
+        continue;
+      }
+      const std::string rel = normalize_rel(e.path(), root);
+      if (scope_for(rel).any()) rel_files.insert(rel);
+    }
+  }
+
+  // Extra files (negative-test fixtures) are analyzed with every rule on,
+  // but kept out of the tree's shared declaration context: a fixture that
+  // deliberately aliases an unordered container must not turn same-named
+  // tree identifiers into false positives (and vice versa).
+  std::set<std::string> extra_rel;
+  for (const std::string& f : cfg.extra_files) {
+    fs::path p(f);
+    extra_rel.insert(p.is_absolute() ? normalize_rel(p, root)
+                                     : fs::path(f).generic_string());
+  }
+  for (const std::string& rel : extra_rel) rel_files.insert(rel);
+
+  // ---- pass 1: lex everything, harvest declarations ----------------------
+  AnalysisContext ctx = default_context();
+  std::vector<std::pair<std::string, LexedFile>> lexed;  // (rel, tokens)
+  lexed.reserve(rel_files.size());
+  for (const std::string& rel : rel_files) {
+    std::string text;
+    if (!read_file((root / rel).string(), text)) {
+      result.findings.push_back(Finding{"ERR", rel, 0, "unreadable",
+                                        "cannot read file for analysis"});
+      continue;
+    }
+    lexed.emplace_back(rel, lex(text));
+  }
+  // Two sweeps so variables declared through a `using` alias of an
+  // unordered container are harvested no matter the file order.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const auto& [rel, lf] : lexed) {
+      if (extra_rel.count(rel) == 0) collect(lf, ctx);
+    }
+  }
+
+  // ---- pass 2: rules ------------------------------------------------------
+  for (const auto& [rel, lf] : lexed) {
+    const bool is_extra = extra_rel.count(rel) != 0;
+    AnalysisContext local;
+    const AnalysisContext* use = &ctx;
+    if (is_extra) {
+      // Fixture context: tree declarations plus the fixture's own, double
+      // swept so the fixture's aliases resolve regardless of ordering.
+      local = ctx;
+      collect(lf, local);
+      collect(lf, local);
+      use = &local;
+    }
+    std::vector<Finding> f =
+        analyze(rel, lf, is_extra ? RuleScope{true, true, true, true, true}
+                                  : scope_for(rel),
+                *use);
+    result.findings.insert(result.findings.end(), f.begin(), f.end());
+  }
+  result.files_scanned = lexed.size();
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.key() < b.key();
+            });
+
+  // ---- baseline diff ------------------------------------------------------
+  std::set<std::string> baseline;
+  if (!cfg.baseline_path.empty()) baseline = load_baseline(cfg.baseline_path);
+  std::set<std::string> seen;
+  for (const Finding& f : result.findings) {
+    seen.insert(f.key());
+    if (baseline.count(f.key()) == 0) result.new_findings.push_back(f);
+  }
+  for (const std::string& key : baseline) {
+    if (seen.count(key) == 0) result.stale_baseline.push_back(key);
+  }
+  return result;
+}
+
+std::string render_report(const RunResult& r) {
+  std::ostringstream os;
+  os << "simlint: " << r.files_scanned << " file(s) scanned, "
+     << r.findings.size() << " finding(s), " << r.new_findings.size()
+     << " new (not in baseline), " << r.stale_baseline.size()
+     << " stale baseline entr" << (r.stale_baseline.size() == 1 ? "y" : "ies")
+     << "\n";
+  if (!r.new_findings.empty()) {
+    os << "\nNEW findings (fail the check; fix them or, for pre-existing "
+          "debt being burned down, add their keys to "
+          "tools/simlint/baseline.txt):\n";
+    for (const Finding& f : r.new_findings) {
+      os << "  " << f.to_string() << "\n    key: " << f.key() << "\n";
+    }
+  }
+  std::vector<const Finding*> baselined;
+  for (const Finding& f : r.findings) {
+    const bool is_new =
+        std::find_if(r.new_findings.begin(), r.new_findings.end(),
+                     [&](const Finding& n) { return n.key() == f.key(); }) !=
+        r.new_findings.end();
+    if (!is_new) baselined.push_back(&f);
+  }
+  if (!baselined.empty()) {
+    os << "\nbaselined findings (existing debt, tracked in baseline.txt):\n";
+    for (const Finding* f : baselined) os << "  " << f->to_string() << "\n";
+  }
+  if (!r.stale_baseline.empty()) {
+    os << "\nstale baseline entries (violation gone; delete the line):\n";
+    for (const std::string& k : r.stale_baseline) os << "  " << k << "\n";
+  }
+  os << "\nresult: " << (r.ok() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace tfsim::simlint

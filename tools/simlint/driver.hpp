@@ -1,0 +1,55 @@
+// simlint driver: file collection from compile_commands.json, rule-scope
+// policy, baseline load/diff, and report rendering.  Split from main() so
+// the test suite can drive the whole pass in-process.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace tfsim::simlint {
+
+struct DriverConfig {
+  std::string root;              ///< repo root (absolute)
+  std::string compile_commands;  ///< path to compile_commands.json ("" = none)
+  std::vector<std::string> extra_files;  ///< explicit files (root-relative ok)
+  std::string baseline_path;     ///< "" = no baseline (all findings fail)
+};
+
+struct RunResult {
+  std::vector<Finding> findings;       ///< everything detected
+  std::vector<Finding> new_findings;   ///< not covered by the baseline
+  std::vector<std::string> stale_baseline;  ///< baseline keys no longer seen
+  std::size_t files_scanned = 0;
+
+  bool ok() const { return new_findings.empty(); }
+};
+
+/// Rule-scope policy by root-relative path.  The catalog guards *sim
+/// paths*: src/ (every subsystem) plus tools/ for R2/R4 (report and digest
+/// code lives there too).  bench/, examples/, and tests/ may legitimately
+/// read the wall clock or iterate scratch containers, so they are out of
+/// scope; tools/simlint itself and its testdata are excluded.
+RuleScope scope_for(const std::string& rel_path);
+
+/// Load `path` and lint it as `rel` with `scope`; appends findings.
+/// Returns false (with a synthetic finding) when the file cannot be read.
+bool lint_file(const std::string& path, const std::string& rel,
+               const RuleScope& scope, const AnalysisContext& ctx,
+               std::vector<Finding>& out);
+
+/// Baseline format: one `key` per line (`<rule> <path> <symbol>`), '#'
+/// comments and blank lines ignored.
+std::set<std::string> load_baseline(const std::string& path);
+
+/// Full pass: collect files, two collection sweeps (aliases then
+/// declarations), analyze, diff against the baseline.
+RunResult run(const DriverConfig& cfg);
+
+/// Render a human-readable report (also the CI artifact).
+std::string render_report(const RunResult& r);
+
+}  // namespace tfsim::simlint

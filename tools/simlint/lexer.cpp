@@ -1,0 +1,204 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace tfsim::simlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Scan a comment body for `simlint: allow(R3)` / `simlint: allow-file(R2)`.
+void scan_suppressions(const std::string& body, int line,
+                       std::vector<Suppression>& out) {
+  const std::string tag = "simlint:";
+  std::size_t pos = body.find(tag);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + tag.size();
+    while (p < body.size() && body[p] == ' ') ++p;
+    bool whole_file = false;
+    const std::string allow = "allow";
+    if (body.compare(p, allow.size(), allow) == 0) {
+      p += allow.size();
+      const std::string filesfx = "-file";
+      if (body.compare(p, filesfx.size(), filesfx) == 0) {
+        whole_file = true;
+        p += filesfx.size();
+      }
+      if (p < body.size() && body[p] == '(') {
+        ++p;
+        std::string rule;
+        while (p < body.size() && body[p] != ')') rule += body[p++];
+        if (p < body.size() && !rule.empty()) {
+          out.push_back(Suppression{rule, line, whole_file});
+        }
+      }
+    }
+    pos = body.find(tag, pos + tag.size());
+  }
+}
+
+/// Longest-match punctuators simlint cares to keep glued together.  Order
+/// matters: longest first.
+constexpr const char* kPuncts3[] = {"...", "<=>", "->*", "<<=", ">>="};
+constexpr const char* kPuncts2[] = {"::", "->", "==", "!=", "<=", ">=",
+                                    "&&", "||", "<<", ">>", "+=", "-=",
+                                    "*=", "/=", "%=", "&=", "|=", "^=",
+                                    "++", "--", "##"};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokKind k, std::string text, int at) {
+    out.tokens.push_back(Token{k, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_suppressions(source.substr(i + 2, end - i - 2), line,
+                        out.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      std::size_t end = source.find("*/", i + 2);
+      const std::size_t stop = (end == std::string::npos) ? n : end;
+      scan_suppressions(source.substr(i + 2, stop - i - 2), line,
+                        out.suppressions);
+      for (std::size_t j = i; j < stop; ++j) {
+        if (source[j] == '\n') ++line;
+      }
+      i = (end == std::string::npos) ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: (u8|u|U|L)?R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
+        (out.tokens.empty() || !ident_char(source[i - 1]))) {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && source[p] != '(' && source[p] != '\n') delim += source[p++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = source.find(close, p);
+      if (end == std::string::npos) end = n;
+      const int at = line;
+      std::string body = source.substr(p + 1 <= n ? p + 1 : n,
+                                       end > p + 1 ? end - p - 1 : 0);
+      for (char bc : body) {
+        if (bc == '\n') ++line;
+      }
+      push(TokKind::kString, std::move(body), at);
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal (possibly with encoding prefix already emitted
+    // as an identifier token -- fine: rules never match literal prefixes).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int at = line;
+      std::string body;
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          body += source[i];
+          body += source[i + 1];
+          if (source[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;  // unterminated; keep line count sane
+        body += source[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(body),
+           at);
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < n && ident_char(source[p])) ++p;
+      push(TokKind::kIdent, source.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    // Number (pp-number: digits, ', ., exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t p = i;
+      while (p < n) {
+        const char d = source[p];
+        if (ident_char(d) || d == '\'' || d == '.') {
+          ++p;
+          continue;
+        }
+        if ((d == '+' || d == '-') && p > i &&
+            (source[p - 1] == 'e' || source[p - 1] == 'E' ||
+             source[p - 1] == 'p' || source[p - 1] == 'P')) {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, source.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    // Punctuators, longest match first.
+    bool matched = false;
+    if (i + 2 < n) {
+      const std::string three = source.substr(i, 3);
+      for (const char* p3 : kPuncts3) {
+        if (three == p3) {
+          push(TokKind::kPunct, three, line);
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 1 < n) {
+      const std::string two = source.substr(i, 2);
+      for (const char* p2 : kPuncts2) {
+        if (two == p2) {
+          push(TokKind::kPunct, two, line);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace tfsim::simlint

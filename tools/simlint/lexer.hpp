@@ -1,0 +1,59 @@
+// Lightweight C++ lexer for the simlint simulator-safety pass.
+//
+// simlint does not need a full frontend: every rule in its catalog (see
+// rules.hpp) is expressible over a comment-stripped token stream plus a
+// small amount of brace-scope structure.  The lexer therefore produces a
+// flat vector of tokens tagged with line numbers, and separately records
+// every `// simlint: allow(Rn): reason` suppression comment so the rule
+// engine can honour inline waivers without re-scanning raw text.
+//
+// Handled faithfully: line/block comments, string and character literals
+// (escapes), raw string literals (R"delim(...)delim"), preprocessor
+// directives (tokenized like ordinary code, `#` included, so rules can
+// match `# include < chrono >` sequences), digit separators, and
+// multi-character punctuators that matter for scope tracking (`::`, `->`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfsim::simlint {
+
+enum class TokKind {
+  kIdent,   ///< identifiers and keywords (rules match by spelling)
+  kNumber,  ///< numeric literal (pp-number)
+  kString,  ///< string literal, text excludes quotes
+  kChar,    ///< character literal
+  kPunct,   ///< punctuator; multi-char for :: -> ...
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+
+  bool is(const char* s) const { return text == s; }
+};
+
+/// One inline waiver: `// simlint: allow(R3): reason`.  `rule` is the
+/// parenthesized tag ("R1".."R5" or "*" for all rules); the waiver covers
+/// findings on its own line and on the line directly below (so it can sit
+/// above the flagged statement).  `allow-file(Rn)` sets `whole_file`.
+struct Suppression {
+  std::string rule;
+  int line = 1;
+  bool whole_file = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenize `source`.  Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF (lint must not die on the code it
+/// audits).
+LexedFile lex(const std::string& source);
+
+}  // namespace tfsim::simlint

@@ -1,0 +1,87 @@
+// simlint entry point.
+//
+// Usage (the CMake `simlint` target and the CI job both run exactly this):
+//   simlint --compile-commands=build/compile_commands.json --root=.
+//           --baseline=tools/simlint/baseline.txt
+//           [--report=build/simlint_report.txt] [--files f1.cpp f2.hpp ...]
+//
+// Exit status: 0 when no finding is outside the baseline, 1 when new
+// findings exist, 2 on usage / I/O errors.  `--files` lints the given
+// files (all rules enabled) in addition to -- or, without
+// --compile-commands, instead of -- the tree; the negative tests drive the
+// testdata fixtures through this path.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver.hpp"
+
+namespace {
+
+bool consume(const std::string& arg, const std::string& flag,
+             std::string& out) {
+  if (arg.rfind(flag, 0) != 0) return false;
+  out = arg.substr(flag.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfsim::simlint::DriverConfig cfg;
+  cfg.root = ".";
+  std::string report_path;
+  bool files_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (consume(arg, "--compile-commands=", v)) {
+      cfg.compile_commands = v;
+      files_mode = false;
+    } else if (consume(arg, "--root=", v)) {
+      cfg.root = v;
+    } else if (consume(arg, "--baseline=", v)) {
+      cfg.baseline_path = v;
+    } else if (consume(arg, "--report=", v)) {
+      report_path = v;
+    } else if (arg == "--files") {
+      files_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: simlint [--compile-commands=PATH] [--root=DIR] "
+                   "[--baseline=PATH] [--report=PATH] [--files f1 f2 ...]\n";
+      return 0;
+    } else if (files_mode && arg[0] != '-') {
+      cfg.extra_files.push_back(arg);
+    } else {
+      std::cerr << "simlint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  if (cfg.compile_commands.empty() && cfg.extra_files.empty()) {
+    std::cerr << "simlint: need --compile-commands=PATH or --files ...\n";
+    return 2;
+  }
+
+  tfsim::simlint::RunResult result;
+  try {
+    result = tfsim::simlint::run(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "simlint: fatal: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::string report = tfsim::simlint::render_report(result);
+  std::cout << report;
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "simlint: cannot write report to " << report_path << "\n";
+      return 2;
+    }
+    out << report;
+  }
+  return result.ok() ? 0 : 1;
+}

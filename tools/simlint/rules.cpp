@@ -1,0 +1,813 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+
+namespace tfsim::simlint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool ident_is(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+bool in_set(const std::string& s, const std::set<std::string>& set) {
+  return set.count(s) != 0;
+}
+
+const std::set<std::string> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string> kOrderedKeyedContainers = {"map", "set",
+                                                       "multimap", "multiset"};
+
+/// Identifiers that are wall-clock / ambient-randomness sources wherever
+/// they appear (R1).
+const std::set<std::string> kBannedIdents = {
+    "random_device",       "mt19937",
+    "mt19937_64",          "minstd_rand",
+    "minstd_rand0",        "default_random_engine",
+    "ranlux24",            "ranlux48",
+    "knuth_b",             "uniform_int_distribution",
+    "uniform_real_distribution", "normal_distribution",
+    "lognormal_distribution",    "exponential_distribution",
+    "poisson_distribution",      "bernoulli_distribution",
+    "discrete_distribution",     "steady_clock",
+    "system_clock",        "high_resolution_clock",
+    "gettimeofday",        "clock_gettime",
+    "timespec_get",        "drand48",
+    "lrand48",             "srand48",
+    "getrandom"};
+
+/// Free functions banned when used as a call (R1); guarded by call-context
+/// so `sim::Time time = ...` declarations and `x.clock()` members pass.
+const std::set<std::string> kBannedCalls = {"time", "clock", "rand", "srand",
+                                            "random"};
+
+/// Headers whose inclusion marks a sim-path file as wall-clock/RNG tainted.
+const std::set<std::string> kBannedHeaders = {"chrono", "ctime", "time.h",
+                                              "sys/time.h", "random"};
+
+/// Keywords that legitimately precede a call expression (so `return
+/// time(nullptr)` is still flagged while `Time time(0)` is not).
+const std::set<std::string> kExprKeywords = {
+    "return", "case", "else", "do", "while", "if", "for", "switch",
+    "throw", "co_return", "co_await", "co_yield"};
+
+/// Skip a balanced template argument list starting at tokens[i] == "<".
+/// Returns the index one past the closing ">", or nullopt when the "<" is
+/// a comparison (hits ; { } or EOF first).
+std::optional<std::size_t> skip_template_args(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  const std::size_t limit = std::min(t.size(), i + 512);
+  for (std::size_t j = i; j < limit; ++j) {
+    const std::string& s = t[j].text;
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (s == "<") {
+      ++depth;
+    } else if (s == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (s == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (s == ";" || s == "{" || s == "}") {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Join a token span for messages.
+std::string join(const Tokens& t, std::size_t b, std::size_t e,
+                 std::size_t cap = 10) {
+  std::string out;
+  for (std::size_t j = b; j < e && j - b < cap; ++j) {
+    if (!out.empty() && t[j].kind != TokKind::kPunct &&
+        t[j - 1].kind != TokKind::kPunct) {
+      out += ' ';
+    }
+    out += t[j].text;
+  }
+  if (e - b > cap) out += "...";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural scanner: brace-scope walk shared by R3 (mutable globals /
+// statics) and R5 (domain annotation discipline).
+// ---------------------------------------------------------------------------
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  bool is_struct = false;   // default access
+  bool annotated = false;   // saw TFSIM_DOMAIN_OWNED in the body
+  struct Member {
+    std::string name;
+    int line = 0;
+  };
+  std::vector<Member> public_mutable_members;
+  std::vector<Member> mutable_statics;  // class-scope `static` data
+};
+
+struct NsVar {
+  std::string name;
+  int line = 0;
+  bool is_extern = false;
+};
+
+struct Structure {
+  std::vector<NsVar> ns_vars;            // mutable namespace-scope variables
+  std::vector<ClassInfo> classes;        // every class/struct with a body
+  std::vector<ClassInfo::Member> local_statics;  // mutable function statics
+};
+
+enum class ScopeKind { kNamespace, kClass, kOther, kSkip };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kOther;
+  std::size_t class_index = 0;  // valid when kind == kClass
+  bool access_public = false;   // current access section (kClass)
+};
+
+/// True when the statement's declared entity is const: constexpr/constinit
+/// always; `const` only when no `*` follows the last `const` (so
+/// `const char* p` is mutable, `char* const p` is not).
+bool statement_is_const(const Tokens& st) {
+  std::ptrdiff_t last_const = -1, last_star = -1;
+  for (std::size_t j = 0; j < st.size(); ++j) {
+    const std::string& s = st[j].text;
+    if (s == "constexpr" || s == "constinit") return true;
+    if (s == "const") last_const = static_cast<std::ptrdiff_t>(j);
+    if (s == "*") last_star = static_cast<std::ptrdiff_t>(j);
+  }
+  if (last_const < 0) return false;
+  return last_star < last_const;
+}
+
+/// Declared name of a variable statement: the last identifier before the
+/// first top-level `=`, `{`, or the end.
+std::string declared_name(const Tokens& st) {
+  int paren = 0;
+  std::string name;
+  for (std::size_t j = 0; j < st.size(); ++j) {
+    const Token& tk = st[j];
+    if (tk.kind == TokKind::kPunct) {
+      if (tk.text == "(" || tk.text == "[") ++paren;
+      if (tk.text == ")" || tk.text == "]") --paren;
+      if (paren == 0 && (tk.text == "=" || tk.text == "{")) break;
+      continue;
+    }
+    if (paren == 0 && tk.kind == TokKind::kIdent) name = tk.text;
+  }
+  return name;
+}
+
+/// True when the statement declares/defines a function: a top-level `(`
+/// appears before any top-level `=`.
+bool statement_is_function(const Tokens& st) {
+  for (const Token& tk : st) {
+    if (tk.kind != TokKind::kPunct) continue;
+    if (tk.text == "(") return true;
+    if (tk.text == "=") return false;
+  }
+  return false;
+}
+
+bool statement_starts_with_any(const Tokens& st,
+                               const std::set<std::string>& starts) {
+  if (st.empty()) return false;
+  return in_set(st.front().text, starts);
+}
+
+const std::set<std::string> kNsSkipStarts = {
+    "using", "typedef", "friend", "template", "static_assert", "namespace",
+    "asm", "concept", "requires", "public", "protected", "private"};
+
+const std::set<std::string> kClassKeywords = {"class", "struct", "union"};
+
+Structure scan_structure(const Tokens& t) {
+  Structure out;
+  std::vector<Scope> scopes;  // empty == translation-unit (namespace) scope
+  Tokens st;                  // current statement accumulator
+
+  auto current_kind = [&]() {
+    return scopes.empty() ? ScopeKind::kNamespace : scopes.back().kind;
+  };
+
+  auto eval_namespace_statement = [&]() {
+    if (st.empty()) return;
+    if (statement_starts_with_any(st, kNsSkipStarts)) {
+      st.clear();
+      return;
+    }
+    const bool is_extern = st.front().text == "extern";
+    // `extern "C"` blocks and plain extern function decls pass below.
+    for (const Token& tk : st) {
+      if (tk.text == "operator") {
+        st.clear();
+        return;
+      }
+    }
+    // Pure type declarations (`class X;`) and enums.
+    if (statement_starts_with_any(st, kClassKeywords) ||
+        st.front().text == "enum") {
+      st.clear();
+      return;
+    }
+    if (statement_is_function(st)) {
+      st.clear();
+      return;
+    }
+    if (!statement_is_const(st)) {
+      const std::string name = declared_name(st);
+      if (!name.empty()) {
+        out.ns_vars.push_back(NsVar{name, st.front().line, is_extern});
+      }
+    }
+    st.clear();
+  };
+
+  auto eval_class_statement = [&](Scope& sc) {
+    if (st.empty()) return;
+    ClassInfo& ci = out.classes[sc.class_index];
+    if (statement_starts_with_any(st, kNsSkipStarts) ||
+        statement_starts_with_any(st, kClassKeywords) ||
+        st.front().text == "enum") {
+      st.clear();
+      return;
+    }
+    for (const Token& tk : st) {
+      if (tk.text == "operator") {
+        st.clear();
+        return;
+      }
+    }
+    if (st.front().text == "static") {
+      if (!statement_is_function(st) && !statement_is_const(st)) {
+        const std::string name = declared_name(st);
+        if (!name.empty()) {
+          ci.mutable_statics.push_back(ClassInfo::Member{name, st.front().line});
+        }
+      }
+      st.clear();
+      return;
+    }
+    if (sc.access_public && !statement_is_function(st) &&
+        !statement_is_const(st) && st.front().text != "mutable") {
+      const std::string name = declared_name(st);
+      if (!name.empty()) {
+        ci.public_mutable_members.push_back(
+            ClassInfo::Member{name, st.front().line});
+      }
+    } else if (sc.access_public && st.front().text == "mutable") {
+      const std::string name = declared_name(st);
+      if (!name.empty()) {
+        ci.public_mutable_members.push_back(
+            ClassInfo::Member{name, st.front().line});
+      }
+    }
+    st.clear();
+  };
+
+  // Function-local `static` harvesting needs statement capture inside
+  // kOther scopes; we start one only on the `static` keyword.
+  bool capturing_local_static = false;
+  Tokens local_static_st;
+
+  std::size_t i = 0;
+  const std::size_t n = t.size();
+  while (i < n) {
+    const Token& tk = t[i];
+
+    // Preprocessor directive: skip to end of (continued) line.
+    if (tk.kind == TokKind::kPunct && tk.text == "#" &&
+        (i == 0 || t[i - 1].line != tk.line || t[i - 1].text == "#")) {
+      int line = tk.line;
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (t[j].line != line) {
+          if (t[j - 1].text == "\\") {
+            line = t[j].line;  // continuation
+          } else {
+            break;
+          }
+        }
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+
+    if (capturing_local_static) {
+      if (tk.text == ";") {
+        if (!statement_is_function(local_static_st) &&
+            !statement_is_const(local_static_st)) {
+          const std::string name = declared_name(local_static_st);
+          if (!name.empty()) {
+            out.local_statics.push_back(
+                ClassInfo::Member{name, local_static_st.front().line});
+          }
+        }
+        capturing_local_static = false;
+        local_static_st.clear();
+      } else if (tk.text == "{" || tk.text == "}") {
+        // Brace init or end-of-scope mid capture: abandon gracefully.
+        capturing_local_static = false;
+        local_static_st.clear();
+        continue;  // reprocess the brace below
+      } else {
+        local_static_st.push_back(tk);
+      }
+      ++i;
+      continue;
+    }
+
+    if (tk.kind == TokKind::kPunct && tk.text == "{") {
+      // Classify the scope this brace opens from the pending statement.
+      ScopeKind kind = ScopeKind::kOther;
+      bool from_class = false;
+      bool is_struct = false;
+      std::string cls_name;
+      int cls_line = tk.line;
+      if (!st.empty()) {
+        if (st.front().text == "namespace" ||
+            (st.size() >= 2 && st[0].text == "inline" &&
+             st[1].text == "namespace") ||
+            (st.size() >= 2 && st[0].text == "extern" &&
+             st[1].kind == TokKind::kString)) {
+          kind = ScopeKind::kNamespace;
+        } else if (st.front().text == "enum") {
+          kind = ScopeKind::kSkip;
+        } else {
+          // class/struct/union at statement level (template<...> allowed
+          // in front), provided this isn't a function signature.
+          std::size_t k = 0;
+          if (st[0].text == "template") {
+            // skip template<...> header
+            std::size_t depth = 0;
+            while (k < st.size()) {
+              if (st[k].text == "<") ++depth;
+              if (st[k].text == ">" && --depth == 0) {
+                ++k;
+                break;
+              }
+              if (st[k].text == ">>" && (depth -= 2) == 0) {
+                ++k;
+                break;
+              }
+              ++k;
+            }
+          }
+          if (k < st.size() && in_set(st[k].text, kClassKeywords) &&
+              st.back().kind != TokKind::kPunct) {
+            // `class X {` / `class X final {` / `struct X : Base {` all end
+            // with an identifier; function sigs end with `)`.
+            kind = ScopeKind::kClass;
+            from_class = true;
+            is_struct = st[k].text != "class";
+            for (std::size_t m = k + 1; m < st.size(); ++m) {
+              if (st[m].kind == TokKind::kIdent && st[m].text != "final" &&
+                  st[m].text != "alignas") {
+                cls_name = st[m].text;
+                cls_line = st[m].line;
+                break;
+              }
+            }
+          } else if (kind == ScopeKind::kOther &&
+                     current_kind() != ScopeKind::kOther) {
+            // Distinguish an initializer brace (part of a declaration
+            // statement: `X x = {...};`, `X x = []{...}();`, `X x{0};`)
+            // from a function/lambda body scope.  A top-level `=` in the
+            // pending statement, or a declarator name directly before the
+            // brace with no parameter list anywhere, marks an initializer:
+            // inline-skip it so the statement accumulates to its `;`.
+            bool has_top_eq = false, has_top_paren = false;
+            int depth = 0;
+            for (const Token& b : st) {
+              if (b.kind != TokKind::kPunct) continue;
+              if (b.text == "(" || b.text == "[") {
+                if (depth++ == 0) has_top_paren = true;
+              } else if (b.text == ")" || b.text == "]") {
+                --depth;
+              } else if (b.text == "=" && depth == 0) {
+                has_top_eq = true;
+              }
+            }
+            if (has_top_eq || (st.back().kind != TokKind::kPunct &&
+                               !has_top_paren)) {
+              std::size_t bdepth = 1;
+              std::size_t j = i + 1;
+              while (j < n && bdepth > 0) {
+                if (t[j].text == "{") ++bdepth;
+                if (t[j].text == "}") --bdepth;
+                ++j;
+              }
+              st.push_back(Token{TokKind::kPunct, "{", tk.line});
+              st.push_back(Token{TokKind::kPunct, "}", tk.line});
+              i = j;
+              continue;
+            }
+          }
+        }
+      }
+      Scope sc;
+      sc.kind = kind;
+      if (from_class) {
+        ClassInfo ci;
+        ci.name = cls_name;
+        ci.line = cls_line;
+        ci.is_struct = is_struct;
+        out.classes.push_back(ci);
+        sc.class_index = out.classes.size() - 1;
+        sc.access_public = is_struct;
+      }
+      scopes.push_back(sc);
+      st.clear();
+      ++i;
+      continue;
+    }
+
+    if (tk.kind == TokKind::kPunct && tk.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      st.clear();
+      ++i;
+      continue;
+    }
+
+    const ScopeKind kind = current_kind();
+    if (kind == ScopeKind::kNamespace) {
+      st.push_back(tk);
+      if (tk.text == ";") {
+        st.pop_back();
+        eval_namespace_statement();
+      }
+    } else if (kind == ScopeKind::kClass) {
+      Scope& sc = scopes.back();
+      ClassInfo& ci = out.classes[sc.class_index];
+      if (ident_is(tk, "TFSIM_DOMAIN_OWNED")) {
+        ci.annotated = true;
+        sc.access_public = false;  // the macro expansion ends `private:`
+        st.clear();
+        ++i;
+        continue;
+      }
+      if (tk.kind == TokKind::kIdent &&
+          (tk.text == "public" || tk.text == "protected" ||
+           tk.text == "private") &&
+          i + 1 < n && t[i + 1].text == ":") {
+        sc.access_public = tk.text == "public";
+        st.clear();
+        i += 2;
+        continue;
+      }
+      st.push_back(tk);
+      if (tk.text == ";") {
+        st.pop_back();
+        eval_class_statement(sc);
+      }
+    } else {
+      // Inside function/block scope: only `static` locals matter.
+      if (kind == ScopeKind::kOther && ident_is(tk, "static")) {
+        capturing_local_static = true;
+        local_static_st.clear();
+        local_static_st.push_back(tk);
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression filter
+// ---------------------------------------------------------------------------
+
+bool suppressed(const Finding& f, const std::vector<Suppression>& sup) {
+  for (const Suppression& s : sup) {
+    if (s.rule != "*" && s.rule != f.rule) continue;
+    if (s.whole_file) return true;
+    if (s.line == f.line || s.line == f.line - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+AnalysisContext default_context() {
+  AnalysisContext ctx;
+  // Runtime counterpart: the TFSIM_DOMAIN_OWNED annotations in src/ (see
+  // sim/domain.hpp and DESIGN.md section 12).  Keep the two lists in sync.
+  ctx.domain_required = {"Dram", "CacheHierarchy", "Node", "DisaggNic",
+                         "PageMigrator"};
+  return ctx;
+}
+
+void collect(const LexedFile& lexed, AnalysisContext& ctx) {
+  const Tokens& t = lexed.tokens;
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool direct = in_set(t[i].text, kUnorderedContainers);
+    const bool alias = in_set(t[i].text, ctx.unordered_types);
+    if (!direct && !alias) continue;
+
+    // `using X = std::unordered_map<...>;` records the alias X.
+    if (direct && i >= 2 && t[i - 1].text == "::" && i >= 3) {
+      // fallthrough; the `using` check below looks further back
+    }
+    if (direct) {
+      for (std::size_t back = 1; back <= 6 && back <= i; ++back) {
+        if (t[i - back].text == "using" && i - back + 1 < n &&
+            t[i - back + 1].kind == TokKind::kIdent) {
+          ctx.unordered_types.insert(t[i - back + 1].text);
+          break;
+        }
+        if (t[i - back].text == ";" || t[i - back].text == "{") break;
+      }
+    }
+
+    // Skip template args (if any), then read declarator name(s).
+    std::size_t j = i + 1;
+    if (j < n && t[j].text == "<") {
+      const auto past = skip_template_args(t, j);
+      if (!past.has_value()) continue;
+      j = *past;
+    } else if (direct) {
+      continue;  // bare mention (e.g. in a comment-stripped string); no decl
+    }
+    for (;;) {
+      while (j < n && (t[j].text == "*" || t[j].text == "&" ||
+                       t[j].text == "const")) {
+        ++j;
+      }
+      if (j + 1 < n && t[j].kind == TokKind::kIdent &&
+          (t[j + 1].text == ";" || t[j + 1].text == "=" ||
+           t[j + 1].text == "{" || t[j + 1].text == "," ||
+           t[j + 1].text == ")" || t[j + 1].text == ":")) {
+        ctx.unordered_vars.insert(t[j].text);
+        if (t[j + 1].text == ",") {
+          j += 2;
+          continue;
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::vector<Finding> analyze(const std::string& file, const LexedFile& lexed,
+                             const RuleScope& scope,
+                             const AnalysisContext& ctx) {
+  std::vector<Finding> findings;
+  const Tokens& t = lexed.tokens;
+  const std::size_t n = t.size();
+
+  auto add = [&](const char* rule, int line, std::string symbol,
+                 std::string message) {
+    Finding f{rule, file, line, std::move(symbol), std::move(message)};
+    if (!suppressed(f, lexed.suppressions)) findings.push_back(std::move(f));
+  };
+
+  // ---- R1: wall-clock time and ambient randomness -----------------------
+  if (scope.r1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Token& tk = t[i];
+      // Banned #include <hdr>.
+      if (tk.text == "#" && i + 2 < n && ident_is(t[i + 1], "include") &&
+          t[i + 2].text == "<") {
+        std::string hdr;
+        for (std::size_t j = i + 3; j < n && t[j].text != ">"; ++j) {
+          hdr += t[j].text;
+        }
+        if (in_set(hdr, kBannedHeaders)) {
+          add("R1", tk.line, "include<" + hdr + ">",
+              "sim paths must not include <" + hdr +
+                  ">: wall-clock time and unseeded randomness are " +
+                  "forbidden (use sim::Rng / sim::Engine time)");
+        }
+        continue;
+      }
+      if (tk.kind != TokKind::kIdent) continue;
+      if (tk.text == "chrono" && i >= 1 && t[i - 1].text == "::") {
+        add("R1", tk.line, "std::chrono",
+            "std::chrono in a sim path: simulated time must come from "
+            "sim::Engine::now(), never the wall clock");
+        continue;
+      }
+      if (in_set(tk.text, kBannedIdents)) {
+        add("R1", tk.line, tk.text,
+            "'" + tk.text +
+                "' is a wall-clock/ambient-randomness source; sim paths "
+                "may only use the seeded sim::Rng");
+        continue;
+      }
+      if (in_set(tk.text, kBannedCalls) && i + 1 < n &&
+          t[i + 1].text == "(") {
+        bool call_context = true;
+        if (i > 0) {
+          const Token& prev = t[i - 1];
+          if (prev.kind == TokKind::kPunct &&
+              (prev.text == "." || prev.text == "->" || prev.text == "::")) {
+            call_context = false;  // member / qualified name
+          } else if (prev.kind == TokKind::kIdent &&
+                     !in_set(prev.text, kExprKeywords)) {
+            call_context = false;  // `Time time(0)` style declaration
+          }
+        }
+        if (call_context) {
+          add("R1", tk.line, tk.text + "()",
+              "call to '" + tk.text +
+                  "()' in a sim path: wall-clock/libc randomness breaks "
+                  "reproducibility (use sim::Engine / sim::Rng)");
+        }
+      }
+    }
+  }
+
+  // ---- R2: iteration over unordered containers --------------------------
+  if (scope.r2) {
+    auto is_unordered_var = [&](const std::string& name) {
+      return in_set(name, ctx.unordered_vars);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      // Range-for: `for ( ... : expr )` with a top-level `:`.
+      if (ident_is(t[i], "for") && i + 1 < n && t[i + 1].text == "(") {
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const std::string& s = t[j].text;
+          if (t[j].kind != TokKind::kPunct) continue;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          if (s == ")" || s == "]" || s == "}") {
+            if (--depth == 0 && s == ")") {
+              close = j;
+              break;
+            }
+          }
+          if (s == ":" && depth == 1 && colon == 0) colon = j;
+        }
+        if (colon != 0 && close != 0) {
+          std::string base;
+          int base_line = t[colon].line;
+          for (std::size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind == TokKind::kIdent) {
+              base = t[j].text;
+              base_line = t[j].line;
+            }
+          }
+          if (!base.empty() && is_unordered_var(base)) {
+            add("R2", base_line, "iter:" + base,
+                "range-for over unordered container '" + base +
+                    "': iteration order is hash-seed dependent and must "
+                    "not feed event ordering, digests, or serialized "
+                    "output (use std::map or sort first)");
+          }
+        }
+        continue;
+      }
+      // Explicit iterators: `x.begin()` / `x.cbegin()` / `x.rbegin()`.
+      if (t[i].kind == TokKind::kIdent && i + 3 < n &&
+          (t[i + 1].text == "." || t[i + 1].text == "->") &&
+          (ident_is(t[i + 2], "begin") || ident_is(t[i + 2], "cbegin") ||
+           ident_is(t[i + 2], "rbegin")) &&
+          t[i + 3].text == "(" && is_unordered_var(t[i].text)) {
+        add("R2", t[i].line, "iter:" + t[i].text,
+            "iterator walk over unordered container '" + t[i].text +
+                "': iteration order is hash-seed dependent (use std::map "
+                "or sort first)");
+      }
+    }
+  }
+
+  // ---- R4: pointer keys / pointer-to-integer casts -----------------------
+  if (scope.r4) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Token& tk = t[i];
+      if (tk.kind != TokKind::kIdent) continue;
+      const bool keyed = in_set(tk.text, kOrderedKeyedContainers) ||
+                         in_set(tk.text, kUnorderedContainers) ||
+                         tk.text == "hash";
+      if (keyed && i + 1 < n && t[i + 1].text == "<") {
+        // Inspect the first top-level template argument.
+        const auto past = skip_template_args(t, i + 1);
+        if (past.has_value()) {
+          int depth = 0;
+          std::size_t arg_end = *past - 1;
+          for (std::size_t j = i + 1; j < *past; ++j) {
+            const std::string& s = t[j].text;
+            if (s == "<") ++depth;
+            if (s == ">" || s == ">>") --depth;
+            if (s == "," && depth == 1) {
+              arg_end = j;
+              break;
+            }
+          }
+          // Last non-const token of arg1 being `*` means pointer key.
+          std::size_t last = arg_end;
+          while (last > i + 2 && t[last - 1].text == "const") --last;
+          if (last > i + 2 && t[last - 1].text == "*") {
+            add("R4", tk.line,
+                tk.text + "<" + join(t, i + 2, arg_end) + ">",
+                "pointer-valued key in '" + tk.text +
+                    "': pointer values are allocation-order/ASLR dependent "
+                    "and must not feed hashing or ordering (key by id)");
+          }
+        }
+      }
+      if ((tk.text == "reinterpret_cast" || tk.text == "bit_cast") &&
+          i + 1 < n && t[i + 1].text == "<") {
+        const auto past = skip_template_args(t, i + 1);
+        if (past.has_value()) {
+          for (std::size_t j = i + 2; j < *past; ++j) {
+            if (ident_is(t[j], "uintptr_t") || ident_is(t[j], "intptr_t")) {
+              add("R4", tk.line, tk.text + "<uintptr_t>",
+                  "pointer-to-integer cast: the numeric value of a pointer "
+                  "is ASLR-dependent and must not reach hashes, ordering, "
+                  "or serialized output");
+              break;
+            }
+          }
+        }
+      }
+      // C-style `(uintptr_t)p`.
+      if ((tk.text == "uintptr_t" || tk.text == "intptr_t") && i >= 1 &&
+          t[i - 1].text == "(" && i + 1 < n && t[i + 1].text == ")") {
+        add("R4", tk.line, "(uintptr_t)cast",
+            "pointer-to-integer cast: the numeric value of a pointer is "
+            "ASLR-dependent and must not reach hashes or ordering");
+      }
+    }
+  }
+
+  // ---- R3 + R5: structural pass ------------------------------------------
+  if (scope.r3 || scope.r5) {
+    const Structure s = scan_structure(t);
+    if (scope.r3) {
+      for (const NsVar& v : s.ns_vars) {
+        add("R3", v.line, "global:" + v.name,
+            std::string(v.is_extern ? "extern declaration of" : "") +
+                (v.is_extern ? " " : "") + "mutable namespace-scope "
+                "variable '" + v.name +
+                "': hidden shared state breaks partition isolation and "
+                "deterministic replay (make it constexpr, or own it in an "
+                "object wired through the call graph)");
+      }
+      for (const auto& m : s.local_statics) {
+        add("R3", m.line, "static-local:" + m.name,
+            "mutable function-local static '" + m.name +
+                "': per-process memoization is shared across partitions "
+                "and sweep threads (hoist into owned state)");
+      }
+      for (const ClassInfo& ci : s.classes) {
+        for (const auto& m : ci.mutable_statics) {
+          add("R3", m.line, "static-member:" + ci.name + "::" + m.name,
+              "mutable static data member '" + ci.name + "::" + m.name +
+                  "': class statics are process-global sim state");
+        }
+      }
+    }
+    if (scope.r5) {
+      for (const ClassInfo& ci : s.classes) {
+        if (in_set(ci.name, ctx.domain_required) && !ci.annotated) {
+          add("R5", ci.line, "unannotated:" + ci.name,
+              "class '" + ci.name +
+                  "' holds per-node sim state and must carry "
+                  "TFSIM_DOMAIN_OWNED (see sim/domain.hpp) so the runtime "
+                  "ownership checker can audit cross-domain mutation");
+        }
+        if (ci.annotated) {
+          for (const auto& m : ci.public_mutable_members) {
+            add("R5", m.line, "public-member:" + ci.name + "::" + m.name,
+                "public mutable data member '" + ci.name + "::" + m.name +
+                    "' on a TFSIM_DOMAIN_OWNED class: state reachable "
+                    "without a method bypasses the DomainChecker (make it "
+                    "private behind an accessor)");
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.symbol < b.symbol;
+            });
+  return findings;
+}
+
+}  // namespace tfsim::simlint

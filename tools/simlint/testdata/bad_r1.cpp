@@ -1,0 +1,31 @@
+// simlint negative fixture: R1 (wall-clock time / ambient randomness).
+// Every construct below must be flagged; simlint_test.cpp asserts it.
+#include <chrono>
+
+#include <ctime>
+
+namespace fixture {
+
+long wall_now() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return time(nullptr) + clock();
+}
+
+int ambient_random() {
+  std::random_device rd;
+  srand(42);
+  return rand() + static_cast<int>(rd());
+}
+
+// Call-context guards: these must NOT be flagged.
+struct Clocked {
+  long time_ = 0;
+  long time_accessor() const { return time_; }
+};
+long not_a_call(Clocked& c) {
+  long time = c.time_accessor();  // declaration, not a call
+  return time;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// simlint negative fixture: R2 (iteration over unordered containers).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using Digest = std::unordered_map<std::string, std::uint64_t>;
+
+struct Report {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::unordered_set<std::string> tags;
+  Digest by_name;  // declared through the alias
+  std::map<std::uint64_t, std::uint64_t> ordered;
+
+  std::uint64_t serialize() const {
+    std::uint64_t digest = 0;
+    for (const auto& [k, v] : counts) {  // flagged: range-for
+      digest ^= k * v;
+    }
+    for (auto it = tags.begin(); it != tags.end(); ++it) {  // flagged: .begin
+      digest ^= it->size();
+    }
+    for (const auto& [name, v] : by_name) {  // flagged: via alias
+      digest += v;
+    }
+    for (const auto& [k, v] : ordered) {  // NOT flagged: std::map is ordered
+      digest += k + v;
+    }
+    // Keyed lookup is fine; only iteration is order-dependent.
+    return digest + counts.count(7);
+  }
+};
+
+}  // namespace fixture

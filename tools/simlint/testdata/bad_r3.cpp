@@ -1,0 +1,30 @@
+// simlint negative fixture: R3 (mutable globals / statics).
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t g_counter = 0;  // flagged: mutable namespace-scope variable
+
+namespace {
+int g_cache_hits;  // flagged: mutable in anonymous namespace
+}  // namespace
+
+constexpr std::uint64_t kLimit = 128;      // NOT flagged
+const double kScale = 1.5;                 // NOT flagged
+constexpr const char* kNames[] = {"a"};    // NOT flagged
+
+struct Widget {
+  static std::uint64_t live_count;  // flagged: mutable static member
+  static constexpr int kMax = 4;    // NOT flagged
+  int value = 0;                    // NOT flagged (not annotated, R5's job)
+};
+
+std::uint64_t bump() {
+  static std::uint64_t calls = 0;  // flagged: mutable function-local static
+  static const std::uint64_t kStep = 2;  // NOT flagged
+  g_counter += kStep;
+  ++g_cache_hits;
+  return ++calls + kLimit + static_cast<std::uint64_t>(kScale);
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// simlint negative fixture: R4 (pointer keys / pointer-to-integer casts).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Module {
+  int id = 0;
+};
+
+std::uint64_t order_by_pointer(const std::vector<Module*>& mods) {
+  std::map<Module*, int> rank;              // flagged: pointer key
+  std::set<const Module*> seen;             // flagged: pointer key
+  std::unordered_map<Module*, int> counts;  // flagged: pointer key
+  std::uint64_t digest = 0;
+  for (Module* m : mods) {
+    rank[m] = m->id;
+    seen.insert(m);
+    counts[m] = m->id;
+    digest ^= reinterpret_cast<std::uintptr_t>(m);  // flagged: ptr->int
+  }
+  std::map<int, Module*> by_id;  // NOT flagged: pointer value, integer key
+  (void)by_id;
+  return digest + rank.size() + seen.size() + counts.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// simlint negative fixture: R5 (domain-ownership annotation discipline).
+//
+// `Dram` is in the configured owned set (it holds per-node sim state), so
+// defining it without TFSIM_DOMAIN_OWNED must be flagged.  The annotated
+// class exposing a public mutable member must be flagged too.
+#include <cstdint>
+
+#define TFSIM_DOMAIN_OWNED /* stand-in for the sim/domain.hpp macro */
+
+namespace fixture {
+
+class Dram {  // flagged: owned class without TFSIM_DOMAIN_OWNED
+ public:
+  std::uint64_t served() const { return served_; }
+
+ private:
+  std::uint64_t served_ = 0;
+};
+
+class Exposed {
+  TFSIM_DOMAIN_OWNED
+
+ public:
+  std::uint64_t hits = 0;  // flagged: public mutable member, annotated class
+  const std::uint64_t capacity = 64;  // NOT flagged: const
+
+ private:
+  std::uint64_t misses_ = 0;  // NOT flagged: private
+};
+
+class Clean {
+  TFSIM_DOMAIN_OWNED
+
+ public:
+  std::uint64_t hits() const { return hits_; }  // NOT flagged: accessor
+
+ private:
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace fixture

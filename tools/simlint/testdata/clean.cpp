@@ -1,0 +1,29 @@
+// simlint positive fixture: idiomatic sim-path code that must produce zero
+// findings, including an inline waiver.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+struct Stats {
+  std::map<std::string, std::uint64_t> by_kind;  // ordered: safe to iterate
+  std::unordered_map<std::uint64_t, std::uint64_t> index;  // lookups only
+
+  std::uint64_t digest() const {
+    std::uint64_t d = kSeed;
+    for (const auto& [k, v] : by_kind) d ^= v + k.size();
+    return d + index.count(1);
+  }
+};
+
+// simlint: allow(R3): deliberate waiver exercised by the test suite
+std::uint64_t g_waived = 1;
+
+std::uint64_t touch() { return ++g_waived; }
+
+}  // namespace fixture
