@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "sim/engine.hpp"
+#include "sim/pdes.hpp"
 
 using tfsim::sim::Engine;
 using tfsim::sim::Time;
@@ -79,6 +80,58 @@ void BM_NestedReschedule(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_NestedReschedule)->Arg(16)->Arg(256);
+
+// PDES scaling curve: 64 domains of self-rescheduling work with periodic
+// cross-domain sends, run at 1/2/4/8 workers.  Per-event compute is a
+// deterministic hash spin so the windows have something to parallelize
+// (a bare calendar pop is too cheap to amortize one barrier per window).
+// CI archives the four rows in BENCH_engine.json; the >1 speedup only
+// materializes on multi-core runners — on a single hardware thread the
+// extra workers just contend.
+void BM_PdesScaling(benchmark::State& state) {
+  using tfsim::sim::DomainId;
+  using tfsim::sim::ParallelEngine;
+  using tfsim::sim::PdesConfig;
+
+  constexpr std::size_t kDomains = 64;
+  constexpr Time kLookahead = 1000;
+  constexpr int kHops = 64;
+  constexpr int kSpin = 4000;  // hash iterations per event (~us of compute,
+                               // so a window amortizes its barrier)
+  const auto threads = static_cast<unsigned>(state.range(0));
+
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    PdesConfig cfg;
+    cfg.threads = threads;
+    cfg.lookahead = kLookahead;
+    ParallelEngine pdes(kDomains, cfg);
+    std::vector<std::uint64_t> fold(kDomains, 0);
+    std::function<void(DomainId, int)> hop = [&](DomainId d, int depth) {
+      std::uint64_t h = pdes.domain(d).now() ^ d;
+      for (int i = 0; i < kSpin; ++i) h = h * 6364136223846793005ULL + 1;
+      fold[d] ^= h;
+      if (depth <= 0) return;
+      const auto dst = static_cast<DomainId>((d + 1) % kDomains);
+      pdes.post(d, dst, pdes.domain(d).now() + kLookahead,
+                [&hop, dst, depth] { hop(dst, depth - 1); });
+    };
+    for (std::size_t d = 0; d < kDomains; ++d) {
+      pdes.post(static_cast<DomainId>(d), static_cast<DomainId>(d),
+                1 + (d % kLookahead), [&hop, d] {
+                  hop(static_cast<DomainId>(d), kHops);
+                });
+    }
+    pdes.run();
+    for (const std::uint64_t f : fold) sink ^= f;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(kDomains * (kHops + 1)) * state.iterations());
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_PdesScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

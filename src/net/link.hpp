@@ -33,6 +33,10 @@ class Link {
   }
 
   const LinkConfig& config() const { return cfg_; }
+  /// Propagation component of the hop latency.  This is the PDES lookahead
+  /// source: no frame can arrive before now + propagation, whatever the
+  /// queueing, so the fabric-wide minimum bounds cross-domain causality.
+  sim::Time propagation() const { return cfg_.propagation; }
   const std::string& name() const { return name_; }
   std::uint64_t bytes_sent() const { return server_.bytes_served(); }
   std::uint64_t packets_sent() const { return server_.requests(); }

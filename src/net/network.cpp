@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include "sim/pdes.hpp"
+
 namespace tfsim::net {
 
 NodeId Network::add_node(const std::string& name) {
@@ -72,6 +74,30 @@ Delivery Network::deliver_ex(sim::Time now, NodeId src, NodeId dst,
       d.outcome = FaultOutcome::kCorrupted;  // sticky until the far end
     }
   }
+  return d;
+}
+
+sim::Time Network::min_propagation() const {
+  sim::Time min = sim::kTimeNever;
+  for (const auto& [key, link] : links_) {
+    if (link->propagation() < min) min = link->propagation();
+  }
+  return min;
+}
+
+Delivery Network::post_delivery(sim::ParallelEngine& pdes,
+                                sim::DomainId src_domain,
+                                sim::DomainId dst_domain, sim::Time now,
+                                NodeId src, NodeId dst,
+                                std::uint64_t wire_bytes, sim::Priority prio,
+                                std::function<void(const Delivery&)> on_arrival) {
+  const Delivery d = deliver_ex(now, src, dst, wire_bytes, prio);
+  if (d.outcome == FaultOutcome::kLost ||
+      d.outcome == FaultOutcome::kFlapDropped) {
+    return d;  // the frame is gone; the destination domain never hears of it
+  }
+  pdes.post(src_domain, dst_domain, d.arrival,
+            [cb = std::move(on_arrival), d] { cb(d); });
   return d;
 }
 

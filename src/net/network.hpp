@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +20,11 @@
 #include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "sim/domain.hpp"
+
+namespace tfsim::sim {
+class ParallelEngine;
+}  // namespace tfsim::sim
 
 namespace tfsim::net {
 
@@ -61,6 +67,30 @@ class Network {
   Delivery deliver_ex(sim::Time now, NodeId src, NodeId dst,
                       std::uint64_t wire_bytes,
                       sim::Priority prio = sim::Priority::kBulk);
+
+  /// Minimum propagation delay over every connected link; kTimeNever when
+  /// the fabric has no links yet.  This is the sound conservative lookahead
+  /// for partitioning the engine by node (sim/pdes.hpp): a frame sent at t
+  /// cannot influence another domain before t + min_propagation.
+  sim::Time min_propagation() const;
+
+  /// Cross-domain delivery for PDES runs: computes the same analytic
+  /// traversal as deliver_ex on the calling (source-domain) thread, then
+  /// posts `on_arrival` into `dst_domain`'s calendar at the arrival time.
+  /// Lost and flap-dropped frames post nothing -- the sender only learns
+  /// via its own timer, exactly as with deliver_ex.  Returns the Delivery
+  /// so the sender can arm that timer.
+  ///
+  /// Soundness: arrival >= now + min_propagation(), so with the engine
+  /// lookahead <= min_propagation() the post always clears the horizon.
+  /// The caller must partition link ownership: every link on the src->dst
+  /// route may only be transmitted on from `src_domain`'s events (true for
+  /// per-node egress links; shared trunks need a dedicated switch domain).
+  Delivery post_delivery(sim::ParallelEngine& pdes, sim::DomainId src_domain,
+                         sim::DomainId dst_domain, sim::Time now, NodeId src,
+                         NodeId dst, std::uint64_t wire_bytes,
+                         sim::Priority prio,
+                         std::function<void(const Delivery&)> on_arrival);
 
   /// Wrap every existing link with a FaultyLink driven by `cfg`; each link
   /// gets an independent stream split off cfg.seed via link_fault_seed, so

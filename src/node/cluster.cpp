@@ -1,6 +1,7 @@
 #include "node/cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -27,24 +28,74 @@ Cluster::Cluster(const scenario::ScenarioSpec& spec) : spec_(spec) {
   if (spec_.nodes.empty()) {
     throw std::invalid_argument("Cluster: scenario declares no nodes");
   }
+  resolve_pdes();
   build_nodes();
   build_topology();
   build_control_plane();
   apply_injector();
   apply_faults();
   remote_.resize(borrowers_.size());
+  if (pdes_ != nullptr) {
+    // Lookahead derives from the assembled fabric: no frame reaches another
+    // domain before now + min link propagation.  An explicit scenario value
+    // may only shrink the window below that sound bound.
+    const sim::Time min_prop = network_.min_propagation();
+    sim::Time lookahead = spec_.pdes.lookahead_ns > 0.0
+                              ? sim::from_ns(spec_.pdes.lookahead_ns)
+                              : min_prop;
+    if (lookahead > min_prop) {
+      TFSIM_LOG(Warn) << "cluster: pdes lookahead " << sim::to_ns(lookahead)
+                      << " ns exceeds the fabric's min propagation "
+                      << sim::to_ns(min_prop) << " ns; clamping";
+      lookahead = min_prop;
+    }
+    pdes_->set_lookahead(lookahead);
+  }
+}
+
+void Cluster::resolve_pdes() {
+  // TFSIM_PDES overrides the scenario whenever it is set at all: "off"/junk
+  // force the classic serial engine, N forces N workers (0 = per-core).
+  unsigned threads = spec_.pdes.threads;
+  if (const char* env = std::getenv("TFSIM_PDES");
+      env != nullptr && *env != '\0') {
+    threads = sim::PdesConfig::threads_from_env();
+  }
+  if (threads == 0) return;
+  sim::PdesConfig cfg;
+  cfg.threads = threads;
+  pdes_ = std::make_unique<sim::ParallelEngine>(spec_.expanded_node_count(),
+                                                cfg);
+  if (threads > 1 && domains_.mode() != sim::DomainCheckMode::kOff) {
+    // The DomainGuard stack is intentionally not thread-safe (one stack per
+    // checker); with parallel workers the ownership audit instead comes
+    // from serial runs of the same scenario plus simlint's static rules.
+    TFSIM_LOG(Info) << "cluster: PDES with " << threads
+                    << " workers disables the runtime domain checker "
+                       "(audit ownership with a serial run)";
+    domains_.set_mode(sim::DomainCheckMode::kOff);
+  }
 }
 
 void Cluster::build_nodes() {
   domains_.bind_engine(&engine_);
+  engine_.bind_domain_checker(&domains_, sim::kNoDomain);
   // Expansion order is declaration order, so net ids, registry ids and the
-  // policy's tie-breaks are all fixed by the spec alone.
+  // policy's tie-breaks are all fixed by the spec alone.  In PDES mode the
+  // expansion index doubles as the node's DomainId: domain d of pdes() is
+  // node d's calendar, so add_domain and domain(i) stay aligned 1:1.
   for (const auto& decl : spec_.nodes) {
     for (std::uint32_t i = 0; i < decl.count; ++i) {
+      const auto idx = nodes_.size();
+      sim::Engine& calendar =
+          pdes_ != nullptr ? pdes_->domain(static_cast<sim::DomainId>(idx))
+                           : engine_;
       nodes_.push_back(
-          std::make_unique<Node>(to_node_spec(decl, i), engine_, network_));
+          std::make_unique<Node>(to_node_spec(decl, i), calendar, network_));
       Node* n = nodes_.back().get();
-      n->bind_domain(domains_, domains_.add_domain(n->name()));
+      const sim::DomainId dom = domains_.add_domain(n->name());
+      n->bind_domain(domains_, dom);
+      if (pdes_ != nullptr) calendar.bind_domain_checker(&domains_, dom);
       (decl.role == scenario::Role::kBorrower ? borrowers_ : lenders_)
           .push_back(n);
     }

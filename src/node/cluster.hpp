@@ -24,6 +24,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/domain.hpp"
 #include "sim/engine.hpp"
+#include "sim/pdes.hpp"
 
 namespace tfsim::node {
 
@@ -31,7 +32,17 @@ class Cluster {
  public:
   explicit Cluster(const scenario::ScenarioSpec& spec);
 
+  /// The shared (cluster-wide) calendar.  In PDES mode this still exists
+  /// and drives cross-cutting activity (flows, benches, MemContext sync);
+  /// each node's *own* events live on its domain calendar (engine_for).
   sim::Engine& engine() { return engine_; }
+  /// Per-domain calendars when the scenario (or TFSIM_PDES) enables intra-
+  /// run parallelism; nullptr in the classic single-calendar mode.
+  sim::ParallelEngine* pdes() { return pdes_.get(); }
+  const sim::ParallelEngine* pdes() const { return pdes_.get(); }
+  /// The calendar node i's events run on: its PDES domain when partitioned,
+  /// the shared engine otherwise.  Node index == DomainId by construction.
+  sim::Engine& engine_for(std::size_t i) { return node(i).engine(); }
   net::Network& network() { return network_; }
   /// Domain-ownership checker (simlint R5's runtime half).  Every node gets
   /// its own domain at assembly; mode comes from TFSIM_DOMAIN_CHECK.
@@ -79,6 +90,7 @@ class Cluster {
   }
 
  private:
+  void resolve_pdes();
   void build_nodes();
   void build_topology();
   void build_control_plane();
@@ -87,6 +99,7 @@ class Cluster {
 
   scenario::ScenarioSpec spec_;
   sim::Engine engine_;
+  std::unique_ptr<sim::ParallelEngine> pdes_;  ///< set when PDES enabled
   net::Network network_;
   sim::DomainChecker domains_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -258,7 +258,7 @@ void ScenarioSpec::set_borrower_count(std::uint32_t count) {
 ScenarioSpec from_json(const Json& doc) {
   check_keys(doc, "scenario",
              {"name", "description", "nodes", "topology", "injector", "policy",
-              "reservations", "workloads", "faults", "sweep"});
+              "reservations", "workloads", "faults", "pdes", "sweep"});
   ScenarioSpec spec;
   spec.name = get_string(doc, "name", spec.name);
   spec.description = get_string(doc, "description", "");
@@ -317,6 +317,16 @@ ScenarioSpec from_json(const Json& doc) {
   }
 
   if (const Json* f = doc.find("faults")) spec.faults = parse_faults(*f);
+
+  if (const Json* p = doc.find("pdes")) {
+    check_keys(*p, "pdes", {"threads", "lookahead_ns"});
+    spec.pdes.threads =
+        static_cast<std::uint32_t>(get_uint(*p, "threads", 0));
+    spec.pdes.lookahead_ns = get_double(*p, "lookahead_ns", 0.0);
+    if (spec.pdes.lookahead_ns < 0.0) {
+      throw JsonError("scenario: pdes lookahead_ns must be >= 0");
+    }
+  }
 
   if (const Json* sw = doc.find("sweep")) {
     check_keys(*sw, "sweep", {"periods", "lenders", "borrowers", "instances"});
@@ -401,6 +411,11 @@ Json to_json(const ScenarioSpec& spec) {
   doc.set("workloads", std::move(ws));
 
   doc.set("faults", dump_faults(spec.faults));
+
+  Json pdes = Json::object();
+  pdes.set("threads", Json::number(std::uint64_t{spec.pdes.threads}));
+  pdes.set("lookahead_ns", Json::number(spec.pdes.lookahead_ns));
+  doc.set("pdes", std::move(pdes));
 
   Json sw = Json::object();
   sw.set("periods", dump_uint_array(spec.sweep.periods));

@@ -102,6 +102,19 @@ struct WorkloadSpec {
   std::string placement = "remote";  ///< local | remote | auto
 };
 
+/// Intra-run parallelism (sim/pdes.hpp): partition the engine into one
+/// calendar per node and run barrier windows on `threads` workers.  The
+/// TFSIM_PDES env var overrides the scenario at build time ("off" forces
+/// serial, N forces N workers).  Lookahead 0 derives the horizon from the
+/// fabric's minimum link propagation — the only always-sound choice; set
+/// it explicitly only to *shrink* the window below that bound.
+struct PdesSpec {
+  std::uint32_t threads = 0;   ///< 0 = classic single-calendar engine
+  double lookahead_ns = 0.0;   ///< 0 = net::Network::min_propagation()
+
+  bool enabled() const { return threads > 0; }
+};
+
 /// Sweep axes a scenario can pin; empty = the bench's built-in default.
 struct SweepSpec {
   std::vector<std::uint64_t> periods;
@@ -121,6 +134,7 @@ struct ScenarioSpec {
   std::vector<ReservationSpec> reservations;
   std::vector<WorkloadSpec> workloads;
   FaultSpec faults;
+  PdesSpec pdes;
   SweepSpec sweep;
 
   const NodeDecl* find_node(const std::string& name) const;

@@ -39,7 +39,12 @@ Engine::EventId Engine::schedule_at(Time t, Callback cb) {
 }
 
 void Engine::cancel(EventId& id) {
-  if (id.owner_ == this && id.slot_ < slots_.size()) {
+  if (id.owner_ != nullptr && id.owner_ != this) {
+    // Foreign handle: minted by another engine.  Historically a silent
+    // no-op; with per-domain calendars it masks cross-domain cancel bugs,
+    // so report it when a checker is bound (strict mode throws).
+    report_foreign_cancel(id);
+  } else if (id.owner_ == this && id.slot_ < slots_.size()) {
     const Slot& s = slots_[id.slot_];
     if (s.live && s.gen == id.gen_) {
       release_slot(id.slot_);
@@ -48,6 +53,23 @@ void Engine::cancel(EventId& id) {
     }
   }
   id = EventId{};
+}
+
+void Engine::report_foreign_cancel(const EventId& id) const {
+  if (checker_ == nullptr || checker_->mode() == DomainCheckMode::kOff) {
+    return;
+  }
+  DomainViolation v;
+  v.object = "Engine";
+  v.what = "Engine::cancel (handle minted by a different engine)";
+  v.owner = id.owner_->domain_id_;
+  v.active = domain_id_;
+  v.owner_name = checker_->domain_name(v.owner);
+  v.active_name = checker_->domain_name(v.active);
+  v.guard_label = "engine:foreign-cancel";
+  v.when = now_;
+  v.event_index = executed_;
+  checker_->report(std::move(v));
 }
 
 bool Engine::pop_next(Entry& ev) {
@@ -91,6 +113,20 @@ void Engine::run_until(Time t) {
     step();
   }
   if (t > now_) now_ = t;
+}
+
+void Engine::run_before(Time t) {
+  for (;;) {
+    while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
+    if (queue_.empty() || queue_.top().time >= t) break;
+    step();
+  }
+}
+
+std::optional<Time> Engine::next_event_time() {
+  while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
 }
 
 bool Engine::run_while_pending(const std::function<bool()>& stop) {

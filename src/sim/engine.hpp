@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "sim/domain.hpp"
 #include "sim/units.hpp"
 
 namespace tfsim::sim {
@@ -58,6 +60,11 @@ class Engine {
   EventId schedule_in(Time dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
 
   /// Cancel a previously scheduled event.  Safe on fired/invalid ids.
+  /// Presenting a handle minted by a *different* engine is a no-op on this
+  /// calendar, but with per-domain engines (sim/pdes.hpp) it almost always
+  /// means a cross-domain cancel bug — when a DomainChecker is bound it is
+  /// reported as a violation (strict throws, collect records, off stays
+  /// silent).  The foreign event is never touched either way.
   void cancel(EventId& id);
 
   /// Run the earliest pending event.  Returns false if the calendar is empty.
@@ -69,6 +76,17 @@ class Engine {
   /// Run events with time <= t, then set now() = t.
   void run_until(Time t);
 
+  /// Run events with time strictly < t; now() is left at the last executed
+  /// event (NOT advanced to t).  This is the PDES window primitive: a
+  /// domain executes its slice of [window, horizon) without claiming to
+  /// have reached the horizon, so cross-domain arrivals scheduled exactly
+  /// at the horizon are still in this calendar's future.
+  void run_before(Time t);
+
+  /// Earliest live event time, or nullopt when the calendar is empty.
+  /// Prunes stale (cancelled) queue heads as a side effect.
+  std::optional<Time> next_event_time();
+
   /// Run until `stop` returns true (checked after every event) or the
   /// calendar empties.  Returns true if `stop` triggered the halt.
   bool run_while_pending(const std::function<bool()>& stop);
@@ -78,6 +96,15 @@ class Engine {
 
   /// Total events executed since construction (for tests / reporting).
   std::uint64_t executed() const { return executed_; }
+
+  /// Wire up foreign-handle cancel reporting: `self` names the domain this
+  /// calendar belongs to in violation reports.  Unbound engines (the
+  /// default, and every pre-PDES caller) keep the historical silent no-op.
+  void bind_domain_checker(DomainChecker* checker, DomainId self) {
+    checker_ = checker;
+    domain_id_ = self;
+  }
+  DomainId domain_id() const { return domain_id_; }
 
  private:
   /// Pooled callback storage.  `gen` increments every time the slot is
@@ -110,6 +137,7 @@ class Engine {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx);
   bool pop_next(Entry& ev);
+  void report_foreign_cancel(const EventId& id) const;
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -118,6 +146,8 @@ class Engine {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // released slot indices, LIFO reuse
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  DomainChecker* checker_ = nullptr;  // foreign-cancel reporting (optional)
+  DomainId domain_id_ = kNoDomain;
 };
 
 inline bool Engine::EventId::valid() const {

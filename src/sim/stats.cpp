@@ -18,6 +18,12 @@ void OnlineStats::add(double x) {
 }
 
 void OnlineStats::merge(const OnlineStats& other) {
+  // Empty-operand guards are load-bearing: without them the Chan update
+  // below divides by nt == 0 (NaN poisoning mean_/m2_ forever) and the
+  // +/-infinity min_/max_ sentinels of an empty side would win the
+  // min/max fold.  These merges run at every PDES barrier when per-domain
+  // stats are combined, where empty domains are routine — regression
+  // tests: StatsTest.Merge{BothEmpty,EmptyIntoFull,FullIntoEmpty}.
   if (other.n_ == 0) return;
   if (n_ == 0) {
     *this = other;
@@ -89,6 +95,9 @@ void Histogram::add_count(double value, std::uint64_t count) {
 
 void Histogram::merge(const Histogram& other) {
   assert(buckets_.size() == other.buckets_.size());
+  // Same empty-operand discipline as OnlineStats::merge: an empty side
+  // must neither leak its raw_min_/raw_max_ placeholders (0.0 here, not
+  // infinities) nor perturb sum_/total_.
   if (other.total_ == 0) return;
   if (total_ == 0) {
     raw_min_ = other.raw_min_;

@@ -1,21 +1,48 @@
 #include "sim/sweep.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
+#include "sim/log.hpp"
+
 namespace tfsim::sim {
 
-unsigned SweepRunner::jobs_from_env() {
-  const char* v = std::getenv("TFSIM_JOBS");
-  if (v == nullptr || *v == '\0') return 1;
+unsigned env_thread_count(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  // strtoul happily accepts a leading '-' and wraps it through modular
+  // arithmetic ("-1" -> 4294967295 threads); reject the sign up front.
+  const char* p = v;
+  while (std::isspace(static_cast<unsigned char>(*p)) != 0) ++p;
+  if (*p == '-') {
+    TFSIM_LOG(Warn) << name << ": negative thread count '" << v
+                    << "' rejected; using " << fallback;
+    return fallback;
+  }
   char* end = nullptr;
-  const unsigned long n = std::strtoul(v, &end, 10);
-  if (end == v || *end != '\0') return 1;  // junk: fall back to serial
+  errno = 0;
+  const unsigned long n = std::strtoul(p, &end, 10);
+  if (end == p || *end != '\0') {
+    TFSIM_LOG(Warn) << name << ": unparseable thread count '" << v
+                    << "' (expected a small integer); using " << fallback;
+    return fallback;
+  }
+  if (errno == ERANGE || n > kMaxEnvThreads) {
+    TFSIM_LOG(Warn) << name << ": thread count '" << v << "' exceeds the "
+                    << kMaxEnvThreads << "-thread ceiling; clamping";
+    return kMaxEnvThreads;
+  }
   if (n == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return hw != 0 ? hw : 1;
   }
   return static_cast<unsigned>(n);
+}
+
+unsigned SweepRunner::jobs_from_env() {
+  return env_thread_count("TFSIM_JOBS", /*fallback=*/1);
 }
 
 }  // namespace tfsim::sim

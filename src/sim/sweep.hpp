@@ -30,6 +30,20 @@
 
 namespace tfsim::sim {
 
+/// Ceiling for thread counts taken from the environment.  Far above any
+/// sane machine, but low enough that a negative value wrapped through
+/// strtoul (TFSIM_JOBS=-1 -> 4294967295) or a typo'd exponent can no
+/// longer ask for billions of threads.
+inline constexpr unsigned kMaxEnvThreads = 256;
+
+/// Hardened thread-count parser shared by TFSIM_JOBS and TFSIM_PDES:
+///   unset/empty -> `fallback`
+///   "0"         -> one worker per hardware thread
+///   1..ceiling  -> that many workers
+///   negative or non-numeric junk -> warn, `fallback`
+///   > kMaxEnvThreads (including strtoul overflow) -> warn, clamp
+unsigned env_thread_count(const char* name, unsigned fallback);
+
 class SweepRunner {
  public:
   /// `jobs` = maximum worker threads; values < 1 are clamped to 1 (serial).

@@ -172,6 +172,35 @@ TEST(ScenarioJsonTest, FaultsUnknownKeysRejected) {
                JsonError);
 }
 
+TEST(ScenarioJsonTest, PdesBlockParsesAndRoundTrips) {
+  const ScenarioSpec spec = parse(R"({
+    "name": "pdes_mini",
+    "nodes": [{"name": "b", "role": "borrower"}, {"name": "l", "count": 3}],
+    "pdes": {"threads": 8, "lookahead_ns": 250}
+  })");
+  EXPECT_TRUE(spec.pdes.enabled());
+  EXPECT_EQ(spec.pdes.threads, 8u);
+  EXPECT_DOUBLE_EQ(spec.pdes.lookahead_ns, 250.0);
+  const std::string dumped = resolved_json(spec);
+  EXPECT_EQ(resolved_json(parse(dumped)), dumped);
+
+  // Default: PDES off, lookahead derived from the fabric.
+  const ScenarioSpec off = parse(R"({"nodes": [{"name": "b"}]})");
+  EXPECT_FALSE(off.pdes.enabled());
+  EXPECT_EQ(off.pdes.threads, 0u);
+  EXPECT_DOUBLE_EQ(off.pdes.lookahead_ns, 0.0);
+}
+
+TEST(ScenarioJsonTest, PdesBlockRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "pdes": {"workers": 4}})"),
+               JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "pdes": {"threads": 4, "lookahead_ns": -1}})"),
+               JsonError)
+      << "negative lookahead must be rejected at parse time";
+}
+
 TEST(ScenarioJsonTest, UnknownKeysRejected) {
   EXPECT_THROW(parse(R"({"name": "x", "bogus": 1})"), JsonError);
   EXPECT_THROW(parse(R"({"nodes": [{"name": "b", "typo_role": "borrower"}]})"),

@@ -55,6 +55,71 @@ TEST(OnlineStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+// Empty-operand regressions (ISSUE 7 audit): merging two empty stats must
+// not divide 0/0 into a NaN mean_/m2_, and an empty side's +/-infinity
+// min/max sentinels must never reach the merged extrema.  Barrier-combined
+// per-domain stats hit these paths constantly (idle domains are routine).
+TEST(StatsTest, MergeBothEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_FALSE(std::isnan(a.mean()));
+  EXPECT_FALSE(std::isnan(a.variance()));
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // A poisoned accumulator would corrupt everything added afterwards.
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(StatsTest, MergeEmptyIntoFull) {
+  OnlineStats full, empty;
+  full.add(-2.0);
+  full.add(6.0);
+  full.merge(empty);
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_DOUBLE_EQ(full.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(full.min(), -2.0) << "empty +inf sentinel must not leak";
+  EXPECT_DOUBLE_EQ(full.max(), 6.0) << "empty -inf sentinel must not leak";
+  EXPECT_FALSE(std::isnan(full.variance()));
+}
+
+TEST(StatsTest, MergeFullIntoEmpty) {
+  OnlineStats full, empty;
+  full.add(-2.0);
+  full.add(6.0);
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 6.0);
+}
+
+TEST(StatsTest, HistogramMergeEmptyOperands) {
+  Histogram a, b;
+  a.merge(b);  // empty + empty: still pristine
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+
+  Histogram full;
+  full.add(4.0);
+  full.add(16.0);
+  const double min_before = full.min();
+  const double max_before = full.max();
+  full.merge(b);  // empty right operand: extrema and moments unchanged
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_DOUBLE_EQ(full.min(), min_before);
+  EXPECT_DOUBLE_EQ(full.max(), max_before);
+
+  Histogram target;
+  target.merge(full);  // full into empty: raw extrema copied, not folded
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), min_before);
+  EXPECT_DOUBLE_EQ(target.max(), max_before);
+}
+
 // Histogram quantiles must agree with exact quantiles within the bucket
 // relative error (1/64 per octave ~ 1.6%).
 class HistogramQuantileTest : public ::testing::TestWithParam<double> {};

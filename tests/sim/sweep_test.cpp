@@ -98,5 +98,38 @@ TEST(SweepRunnerTest, JobsFromEnv) {
   EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
 }
 
+// The ISSUE 7 bugfix: TFSIM_JOBS=-1 used to wrap through strtoul to
+// 4294967295 and ask for ~4B threads.  Negatives and junk now fall back
+// (with a warning), oversized values clamp to kMaxEnvThreads.
+TEST(SweepRunnerTest, EnvThreadCountRejectsNegatives) {
+  setenv("TFSIM_JOBS", "-1", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
+  setenv("TFSIM_JOBS", "  -37", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
+  unsetenv("TFSIM_JOBS");
+}
+
+TEST(SweepRunnerTest, EnvThreadCountClampsOverflow) {
+  setenv("TFSIM_JOBS", "4294967295", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), kMaxEnvThreads);
+  setenv("TFSIM_JOBS", "99999999999999999999999", 1);  // > ULONG_MAX
+  EXPECT_EQ(SweepRunner::jobs_from_env(), kMaxEnvThreads);
+  setenv("TFSIM_JOBS", "257", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), kMaxEnvThreads);
+  setenv("TFSIM_JOBS", "256", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 256u) << "ceiling itself is legal";
+  unsetenv("TFSIM_JOBS");
+}
+
+TEST(SweepRunnerTest, EnvThreadCountRejectsTrailingJunk) {
+  setenv("TFSIM_JOBS", "4x", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
+  setenv("TFSIM_JOBS", "1e3", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u) << "no exponent notation";
+  setenv("TFSIM_JOBS", "", 1);
+  EXPECT_EQ(SweepRunner::jobs_from_env(), 1u);
+  unsetenv("TFSIM_JOBS");
+}
+
 }  // namespace
 }  // namespace tfsim::sim

@@ -33,6 +33,11 @@
 //      with NIC retry/replay active, computed serially and on an 8-worker
 //      pool, must produce byte-identical probe rows -- the seeded fault
 //      streams are pure functions of the spec, never of scheduling.
+//   8. intra-run PDES (sim/pdes.hpp): seeded cross-domain traffic over a
+//      ring fabric driven through per-node calendars with conservative
+//      lookahead; the serial run (TFSIM_PDES=off equivalent) and an
+//      8-worker barrier-window run must produce byte-identical per-domain
+//      digests, clocks and link counters.
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
@@ -57,9 +62,11 @@
 #include "ctrl/registry.hpp"
 #include "node/cluster.hpp"
 #include "node/node.hpp"
+#include "net/network.hpp"
 #include "node/testbed.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
+#include "sim/pdes.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/sweep.hpp"
@@ -450,6 +457,96 @@ bool scenario_faults(std::uint64_t seed, std::ostringstream& out) {
   return match;
 }
 
+// Scenario 8: the intra-run PDES core.  Thread count must change wall-clock
+// time only -- per-domain event counts, clocks, traffic digests and link
+// byte counters are compared byte-for-byte between a serial run and an
+// 8-worker barrier-window run over the same seeded ring traffic.
+std::string pdes_traffic(std::uint64_t seed, unsigned threads) {
+  namespace net = tfsim::net;
+  namespace sim = tfsim::sim;
+
+  constexpr std::size_t kNodes = 12;
+  net::Network fabric;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    fabric.add_node("n" + std::to_string(i));
+  }
+  Rng wiring(seed ^ 0xFAB51Cull);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    net::LinkConfig cfg;
+    cfg.propagation = sim::from_ns(80.0 + wiring.uniform(0.0, 300.0));
+    cfg.bandwidth = sim::Bandwidth::from_gbit(50.0);
+    fabric.connect(static_cast<net::NodeId>(i),
+                   static_cast<net::NodeId>((i + 1) % kNodes), cfg);
+  }
+
+  sim::PdesConfig cfg;
+  cfg.threads = threads;
+  cfg.lookahead = fabric.min_propagation();
+  sim::ParallelEngine pdes(kNodes, cfg);
+
+  std::vector<Rng> rng;
+  std::vector<std::uint64_t> fold(kNodes, 0);
+  rng.reserve(kNodes);
+  for (std::size_t d = 0; d < kNodes; ++d) {
+    rng.emplace_back(seed ^ (0x9E3779B97F4A7C15ULL * (d + 1)));
+  }
+
+  std::function<void(sim::DomainId, int)> bounce = [&](sim::DomainId d,
+                                                       int budget) {
+    sim::Engine& self = pdes.domain(d);
+    fold[d] = fold[d] * 1099511628211ULL ^ self.now() ^ d;
+    if (budget <= 0) return;
+    const auto dst = static_cast<net::NodeId>((d + 1) % kNodes);
+    const std::uint64_t bytes = 64 + rng[d].uniform_u64(1400);
+    fabric.post_delivery(
+        pdes, d, static_cast<sim::DomainId>(dst), self.now(),
+        static_cast<net::NodeId>(d), dst, bytes, sim::Priority::kBulk,
+        [&bounce, dst, budget](const net::Delivery&) {
+          bounce(static_cast<sim::DomainId>(dst), budget - 1);
+        });
+  };
+  for (std::size_t d = 0; d < kNodes; ++d) {
+    const sim::Time start = 1 + rng[d].uniform_u64(cfg.lookahead);
+    pdes.post(static_cast<sim::DomainId>(d), static_cast<sim::DomainId>(d),
+              start, [&bounce, d] {
+                bounce(static_cast<sim::DomainId>(d), 50);
+              });
+  }
+  pdes.run();
+
+  std::ostringstream os;
+  for (std::size_t d = 0; d < kNodes; ++d) {
+    os << d << ":" << fold[d] << ":"
+       << pdes.domain(static_cast<sim::DomainId>(d)).executed() << ":"
+       << pdes.domain(static_cast<sim::DomainId>(d)).now() << ";";
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const auto& link = fabric.link(static_cast<net::NodeId>(i),
+                                   static_cast<net::NodeId>((i + 1) % kNodes));
+    os << "L" << i << "=" << link.bytes_sent() << "," << link.packets_sent()
+       << ";";
+  }
+  return os.str();
+}
+
+bool scenario_pdes(std::uint64_t seed, std::ostringstream& out) {
+  const std::string serial = pdes_traffic(seed, 1);
+  const std::string parallel = pdes_traffic(seed, 8);
+
+  Digest d;
+  for (const char c : serial) d.add(static_cast<std::uint64_t>(c));
+  const bool match = serial == parallel;
+  out << "pdes: digest=" << d.h
+      << " serial==8-thread=" << (match ? "yes" : "NO") << "\n";
+  if (!match) {
+    std::fprintf(stderr,
+                 "determinism_check: PDES diverged across thread counts\n"
+                 "--- serial ---\n%s\n--- 8 threads ---\n%s\n",
+                 serial.c_str(), parallel.c_str());
+  }
+  return match;
+}
+
 std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
@@ -459,6 +556,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   sweep_ok = scenario_sweep(seed, out) && sweep_ok;
   sweep_ok = scenario_cluster_refactor(out) && sweep_ok;
   sweep_ok = scenario_faults(seed, out) && sweep_ok;
+  sweep_ok = scenario_pdes(seed, out) && sweep_ok;
   return out.str();
 }
 
