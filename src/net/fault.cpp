@@ -6,16 +6,6 @@ namespace tfsim::net {
 
 namespace {
 
-/// SplitMix64 finalizer: one full avalanche round, the same mixer sim::Rng
-/// seeds through.  Pure function of the input, so fault decision k never
-/// depends on anything but (seed, k).
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 /// Uniform double in [0, 1) from the top 53 bits.
 double unit(std::uint64_t bits) {
   return static_cast<double>(bits >> 11) * 0x1.0p-53;
@@ -23,12 +13,20 @@ double unit(std::uint64_t bits) {
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 const char* to_string(FaultOutcome o) {
   switch (o) {
     case FaultOutcome::kDelivered: return "delivered";
     case FaultOutcome::kCorrupted: return "corrupted";
     case FaultOutcome::kLost: return "lost";
     case FaultOutcome::kFlapDropped: return "flap-dropped";
+    case FaultOutcome::kSwitchDropped: return "switch-dropped";
   }
   return "?";
 }
@@ -91,6 +89,7 @@ FaultyLink::TxResult FaultyLink::transmit(sim::Time now,
     case FaultOutcome::kCorrupted: ++corrupted_; break;
     case FaultOutcome::kLost: ++lost_; break;
     case FaultOutcome::kFlapDropped: ++flap_dropped_; break;
+    case FaultOutcome::kSwitchDropped: break;  // decided upstream, never here
   }
   return r;
 }

@@ -51,13 +51,20 @@ struct FaultConfig {
 
 /// What happened to one transmission attempt.
 enum class FaultOutcome {
-  kDelivered,    ///< arrived intact
-  kCorrupted,    ///< arrived, but the CRC check at the receiver will fail
-  kLost,         ///< vanished on the wire (random loss)
-  kFlapDropped,  ///< sent into a hard-down flap window
+  kDelivered,      ///< arrived intact
+  kCorrupted,      ///< arrived, but the CRC check at the receiver will fail
+  kLost,           ///< vanished on the wire (random loss)
+  kFlapDropped,    ///< sent into a hard-down flap window
+  kSwitchDropped,  ///< tail-dropped by a switch egress queue (net/switch.hpp)
 };
 
 const char* to_string(FaultOutcome o);
+
+/// SplitMix64 finalizer: one full avalanche round, the same mixer sim::Rng
+/// seeds through.  Pure function of the input; shared by the fault streams
+/// and the ECMP flow hash (net/routing.hpp), both of which must depend on
+/// integer identities only (simlint R4).
+std::uint64_t mix64(std::uint64_t x);
 
 /// Replayable per-packet fault decisions.  Stateless apart from a monotone
 /// attempt counter: decision k is a pure function of (seed, k).

@@ -45,6 +45,16 @@ class Link {
                     sim::Priority prio = sim::Priority::kBulk) const {
     return server_.backlog(now, prio);
   }
+  /// Egress-queue occupancy in bytes at `now`: the backlog time converted
+  /// back through the line rate.  This is what a switch's buffer-management
+  /// sees when deciding to admit or tail-drop a frame (net/switch.hpp); it
+  /// includes the frame currently being serialized.
+  std::uint64_t queued_bytes(sim::Time now) const {
+    return static_cast<std::uint64_t>(
+        sim::to_sec(server_.backlog(now, sim::Priority::kBulk)) *
+            cfg_.bandwidth.bytes_per_sec +
+        0.5);
+  }
   double utilization(sim::Time elapsed) const {
     return elapsed ? sim::to_sec(server_.busy_time()) / sim::to_sec(elapsed)
                    : 0.0;

@@ -6,7 +6,32 @@ namespace tfsim::net {
 
 NodeId Network::add_node(const std::string& name) {
   names_.push_back(name);
+  table_dirty_ = true;
   return static_cast<NodeId>(names_.size() - 1);
+}
+
+NodeId Network::add_switch(const std::string& name, const SwitchConfig& cfg) {
+  const NodeId id = add_node(name);
+  switches_.emplace(id, Switch(cfg));
+  return id;
+}
+
+Switch& Network::switch_at(NodeId id) {
+  const auto it = switches_.find(id);
+  if (it == switches_.end()) {
+    throw std::invalid_argument("Network::switch_at: node " +
+                                names_.at(id) + " is not a switch");
+  }
+  return it->second;
+}
+
+const Switch& Network::switch_at(NodeId id) const {
+  const auto it = switches_.find(id);
+  if (it == switches_.end()) {
+    throw std::invalid_argument("Network::switch_at: node " +
+                                names_.at(id) + " is not a switch");
+  }
+  return it->second;
 }
 
 void Network::connect(NodeId from, NodeId to, const LinkConfig& cfg) {
@@ -20,6 +45,17 @@ void Network::connect(NodeId from, NodeId to, const LinkConfig& cfg) {
   links_[key] = std::make_unique<Link>(
       cfg, names_[from] + "->" + names_[to]);
   routes_[key] = {key};  // implicit one-hop route
+  table_dirty_ = true;
+}
+
+std::string Network::hop_name(const std::pair<NodeId, NodeId>& hop) const {
+  const auto name = [this](NodeId id) -> std::string {
+    if (id < names_.size()) return names_[id];
+    std::string unknown = "#";
+    unknown += std::to_string(id);
+    return unknown;
+  };
+  return name(hop.first) + "->" + name(hop.second);
 }
 
 void Network::add_route(NodeId src, NodeId dst,
@@ -27,52 +63,115 @@ void Network::add_route(NodeId src, NodeId dst,
   if (hops.empty()) {
     throw std::invalid_argument("Network::add_route: empty path");
   }
-  for (const auto& hop : hops) {
-    if (links_.count(hop) == 0) {
-      throw std::invalid_argument("Network::add_route: hop has no link");
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (links_.count(hops[i]) == 0) {
+      throw std::invalid_argument("Network::add_route: hop " +
+                                  std::to_string(i) + " (" +
+                                  hop_name(hops[i]) + ") has no link");
     }
   }
   if (hops.front().first != src || hops.back().second != dst) {
-    throw std::invalid_argument("Network::add_route: path endpoints mismatch");
+    throw std::invalid_argument(
+        "Network::add_route: path endpoints mismatch (path " +
+        hop_name({hops.front().first, hops.back().second}) +
+        ", route " + hop_name({src, dst}) + ")");
   }
   for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
     if (hops[i].second != hops[i + 1].first) {
-      throw std::invalid_argument("Network::add_route: disconnected path");
+      throw std::invalid_argument(
+          "Network::add_route: hop " + std::to_string(i) + " (" +
+          hop_name(hops[i]) + ") is not contiguous with hop " +
+          std::to_string(i + 1) + " (" + hop_name(hops[i + 1]) + ")");
     }
   }
   routes_[{src, dst}] = std::move(hops);
 }
 
+void Network::build_routes() {
+  table_dirty_ = true;
+  ensure_routes();
+}
+
+void Network::ensure_routes() const {
+  if (!table_dirty_) return;
+  // The rebuild is deterministic (the link map is ordered), so lazy
+  // recomputation from const queries can never diverge between runs; the
+  // table members are mutable for exactly this cache.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(links_.size());
+  for (const auto& [key, link] : links_) edges.push_back(key);
+  table_.build(names_.size(), edges);
+  table_dirty_ = false;
+}
+
+const RoutingTable& Network::routing() const {
+  ensure_routes();
+  return table_;
+}
+
+bool Network::has_route(NodeId src, NodeId dst) const {
+  if (routes_.count({src, dst}) > 0) return true;
+  ensure_routes();
+  return table_.reachable(src, dst);
+}
+
 sim::Time Network::deliver(sim::Time now, NodeId src, NodeId dst,
+                           std::uint64_t wire_bytes, sim::Priority prio,
+                           std::uint64_t flow_salt) {
+  return deliver_ex(now, src, dst, wire_bytes, prio, flow_salt).arrival;
+}
+
+bool Network::transmit_hop(Delivery& d, NodeId from, NodeId to,
                            std::uint64_t wire_bytes, sim::Priority prio) {
-  return deliver_ex(now, src, dst, wire_bytes, prio).arrival;
+  const auto key = std::make_pair(from, to);
+  Link& out = *links_.at(key);
+  if (const auto sit = switches_.find(from); sit != switches_.end()) {
+    if (!sit->second.admit(to, d.arrival, wire_bytes, out)) {
+      d.outcome = FaultOutcome::kSwitchDropped;
+      return false;  // tail-dropped; downstream hops never see the frame
+    }
+  }
+  const auto fit = faulty_.find(key);
+  if (fit == faulty_.end()) {
+    d.arrival = out.transmit(d.arrival, wire_bytes, prio);
+    return true;
+  }
+  const auto tx = fit->second->transmit(d.arrival, wire_bytes, prio);
+  d.arrival = tx.delivered;
+  if (tx.outcome == FaultOutcome::kLost ||
+      tx.outcome == FaultOutcome::kFlapDropped) {
+    d.outcome = tx.outcome;
+    return false;  // the frame is gone
+  }
+  if (tx.outcome == FaultOutcome::kCorrupted) {
+    d.outcome = FaultOutcome::kCorrupted;  // sticky until the far end
+  }
+  return true;
 }
 
 Delivery Network::deliver_ex(sim::Time now, NodeId src, NodeId dst,
-                             std::uint64_t wire_bytes, sim::Priority prio) {
-  const auto it = routes_.find({src, dst});
-  if (it == routes_.end()) {
+                             std::uint64_t wire_bytes, sim::Priority prio,
+                             std::uint64_t flow_salt) {
+  Delivery d;
+  d.arrival = now;
+  if (const auto it = routes_.find({src, dst}); it != routes_.end()) {
+    for (const auto& hop : it->second) {
+      if (!transmit_hop(d, hop.first, hop.second, wire_bytes, prio)) return d;
+    }
+    return d;
+  }
+  // No explicit route: forward hop by hop from the routing table, striping
+  // across equal-cost links by the flow hash.
+  ensure_routes();
+  if (!table_.reachable(src, dst)) {
     throw std::invalid_argument("Network::deliver: no route " +
                                 names_.at(src) + "->" + names_.at(dst));
   }
-  Delivery d;
-  d.arrival = now;
-  for (const auto& hop : it->second) {
-    const auto fit = faulty_.find(hop);
-    if (fit == faulty_.end()) {
-      d.arrival = links_.at(hop)->transmit(d.arrival, wire_bytes, prio);
-      continue;
-    }
-    const auto tx = fit->second->transmit(d.arrival, wire_bytes, prio);
-    d.arrival = tx.delivered;
-    if (tx.outcome == FaultOutcome::kLost ||
-        tx.outcome == FaultOutcome::kFlapDropped) {
-      d.outcome = tx.outcome;
-      return d;  // the frame is gone; downstream hops never see it
-    }
-    if (tx.outcome == FaultOutcome::kCorrupted) {
-      d.outcome = FaultOutcome::kCorrupted;  // sticky until the far end
-    }
+  NodeId cur = src;
+  while (cur != dst) {
+    const NodeId next = table_.pick(cur, dst, src, flow_salt);
+    if (!transmit_hop(d, cur, next, wire_bytes, prio)) return d;
+    cur = next;
   }
   return d;
 }
@@ -93,12 +192,51 @@ Delivery Network::post_delivery(sim::ParallelEngine& pdes,
                                 std::function<void(const Delivery&)> on_arrival) {
   const Delivery d = deliver_ex(now, src, dst, wire_bytes, prio);
   if (d.outcome == FaultOutcome::kLost ||
-      d.outcome == FaultOutcome::kFlapDropped) {
+      d.outcome == FaultOutcome::kFlapDropped ||
+      d.outcome == FaultOutcome::kSwitchDropped) {
     return d;  // the frame is gone; the destination domain never hears of it
   }
   pdes.post(src_domain, dst_domain, d.arrival,
             [cb = std::move(on_arrival), d] { cb(d); });
   return d;
+}
+
+void Network::post_routed(sim::ParallelEngine& pdes, sim::Time now, NodeId src,
+                          NodeId dst, std::uint64_t wire_bytes,
+                          sim::Priority prio, std::uint64_t flow_salt,
+                          std::function<void(const Delivery&)> on_arrival) {
+  ensure_routes();
+  if (!table_.reachable(src, dst)) {
+    throw std::invalid_argument("Network::post_routed: no route " +
+                                names_.at(src) + "->" + names_.at(dst));
+  }
+  Delivery d;
+  d.arrival = now;
+  step_routed(pdes, src, src, dst, d, wire_bytes, prio, flow_salt,
+              std::move(on_arrival));
+}
+
+void Network::step_routed(sim::ParallelEngine& pdes, NodeId cur, NodeId src,
+                          NodeId dst, Delivery d, std::uint64_t wire_bytes,
+                          sim::Priority prio, std::uint64_t flow_salt,
+                          std::function<void(const Delivery&)> on_arrival) {
+  const NodeId next = table_.pick(cur, dst, src, flow_salt);
+  if (!transmit_hop(d, cur, next, wire_bytes, prio)) {
+    return;  // dropped mid-fabric; the sender only learns via its own timer
+  }
+  const auto cur_dom = static_cast<sim::DomainId>(cur);
+  const auto next_dom = static_cast<sim::DomainId>(next);
+  if (next == dst) {
+    pdes.post(cur_dom, next_dom, d.arrival,
+              [cb = std::move(on_arrival), d] { cb(d); });
+    return;
+  }
+  pdes.post(cur_dom, next_dom, d.arrival,
+            [this, &pdes, next, src, dst, d, wire_bytes, prio, flow_salt,
+             cb = std::move(on_arrival)]() mutable {
+              step_routed(pdes, next, src, dst, d, wire_bytes, prio,
+                          flow_salt, std::move(cb));
+            });
 }
 
 void Network::enable_faults(const FaultConfig& cfg) {
@@ -108,6 +246,23 @@ void Network::enable_faults(const FaultConfig& cfg) {
     per_link.seed = link_fault_seed(cfg.seed, key.first, key.second);
     faulty_[key] = std::make_unique<FaultyLink>(*link, per_link);
   }
+}
+
+void Network::enable_faults_on(NodeId from, NodeId to,
+                               const FaultConfig& cfg) {
+  const auto key = std::make_pair(from, to);
+  const auto it = links_.find(key);
+  if (it == links_.end()) {
+    throw std::invalid_argument("Network::enable_faults_on: no link " +
+                                hop_name(key));
+  }
+  if (faulty_.count(key) != 0) {
+    throw std::invalid_argument("Network::enable_faults_on: link " +
+                                hop_name(key) + " already fault-decorated");
+  }
+  FaultConfig per_link = cfg;
+  per_link.seed = link_fault_seed(cfg.seed, from, to);
+  faulty_[key] = std::make_unique<FaultyLink>(*it->second, per_link);
 }
 
 const FaultyLink* Network::faulty_link(NodeId from, NodeId to) const {

@@ -1,0 +1,87 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "net/fault.hpp"  // mix64
+
+namespace tfsim::net {
+
+namespace {
+const std::vector<NodeId> kNoHops;
+}  // namespace
+
+void RoutingTable::build(std::size_t num_nodes,
+                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  n_ = num_nodes;
+  next_.assign(n_ * n_, {});
+  // Forward adjacency, neighbour lists ascending (edges arrive ordered from
+  // Network's std::map, but sort anyway so callers need not care).
+  std::vector<std::vector<NodeId>> out(n_);
+  for (const auto& [from, to] : edges) {
+    if (from >= n_ || to >= n_) {
+      throw std::invalid_argument("RoutingTable: edge references unknown node");
+    }
+    out[from].push_back(to);
+  }
+  for (auto& neigh : out) {
+    std::sort(neigh.begin(), neigh.end());
+  }
+
+  // One BFS per destination over the reversed graph gives hop distances
+  // d(v) = hops from v to dst; the equal-cost next hops at v are exactly
+  // the forward neighbours one hop closer.
+  std::vector<std::vector<NodeId>> in(n_);
+  for (const auto& [from, to] : edges) in[to].push_back(from);
+
+  constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+  std::vector<std::uint32_t> dist(n_);
+  std::vector<NodeId> queue;
+  queue.reserve(n_);
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    dist.assign(n_, kUnreached);
+    dist[dst] = 0;
+    queue.clear();
+    queue.push_back(dst);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (const NodeId u : in[v]) {
+        if (dist[u] == kUnreached) {
+          dist[u] = dist[v] + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (NodeId cur = 0; cur < n_; ++cur) {
+      if (cur == dst || dist[cur] == kUnreached) continue;
+      auto& hops = next_[static_cast<std::size_t>(dst) * n_ + cur];
+      for (const NodeId nb : out[cur]) {
+        if (dist[nb] + 1 == dist[cur]) hops.push_back(nb);
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& RoutingTable::next_hops(NodeId cur,
+                                                   NodeId dst) const {
+  if (cur >= n_ || dst >= n_) return kNoHops;
+  return next_[static_cast<std::size_t>(dst) * n_ + cur];
+}
+
+NodeId RoutingTable::pick(NodeId cur, NodeId dst, NodeId src,
+                          std::uint64_t flow_salt) const {
+  const auto& hops = next_hops(cur, dst);
+  if (hops.empty()) {
+    throw std::invalid_argument("RoutingTable: no route from node " +
+                                std::to_string(cur) + " to node " +
+                                std::to_string(dst));
+  }
+  if (hops.size() == 1) return hops.front();
+  const std::uint64_t flow = (std::uint64_t{src} << 32) | dst;
+  const std::uint64_t here = (std::uint64_t{cur} << 32) ^ flow_salt;
+  const std::uint64_t h = mix64(mix64(flow) ^ mix64(here));
+  return hops[h % hops.size()];
+}
+
+}  // namespace tfsim::net

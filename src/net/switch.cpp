@@ -1,0 +1,50 @@
+#include "net/switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfsim::net {
+
+const char* to_string(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kDrop: return "drop";
+    case QueuePolicy::kBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+QueuePolicy parse_queue_policy(const std::string& name) {
+  if (name == "drop") return QueuePolicy::kDrop;
+  if (name == "backpressure") return QueuePolicy::kBackpressure;
+  throw std::invalid_argument("unknown switch queue policy \"" + name +
+                              "\" (expected drop or backpressure)");
+}
+
+bool Switch::admit(NodeId egress, sim::Time now, std::uint64_t wire_bytes,
+                   const Link& out) {
+  PortStats& p = ports_[egress];
+  const std::uint64_t occ = out.queued_bytes(now);
+  if (cfg_.policy == QueuePolicy::kDrop &&
+      occ + wire_bytes > cfg_.buffer_bytes) {
+    ++p.drops;
+    return false;
+  }
+  ++p.frames;
+  p.bytes += wire_bytes;
+  p.queued_bytes_sum += static_cast<double>(occ);
+  p.peak_queued_bytes = std::max(p.peak_queued_bytes, occ + wire_bytes);
+  return true;
+}
+
+const PortStats* Switch::port(NodeId egress) const {
+  const auto it = ports_.find(egress);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Switch::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, p] : ports_) n += p.drops;
+  return n;
+}
+
+}  // namespace tfsim::net

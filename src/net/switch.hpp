@@ -1,0 +1,87 @@
+// Switch node kind: per-port egress queueing on top of the link FIFO model.
+//
+// A switch is a fabric element (it never computes) with one egress queue per
+// output port.  The queue itself is the analytic FIFO backlog of the egress
+// link; the switch adds the buffer-management decision in front of it: a
+// frame arriving for port p sees the port's current occupancy (queued bytes
+// not yet on the wire) and is either admitted or handled per the configured
+// policy.  kDrop models a shallow shared-nothing output buffer -- frames
+// beyond the configured depth are tail-dropped, exactly what DRackSim-style
+// rack models do at their ToR queues; kBackpressure models a lossless fabric
+// (PFC/credit-based) where the queue simply grows and the latency cliff
+// shows up as queueing delay instead of loss.
+//
+// Per-port occupancy statistics (frames, bytes, drops, peak and mean queued
+// bytes at admission) are the observable bench/fabric_contention reports:
+// where the contention cliff forms is visible as which egress port saturates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::net {
+
+enum class QueuePolicy {
+  kDrop,          ///< tail-drop frames that would exceed the buffer
+  kBackpressure,  ///< lossless: the egress backlog grows without bound
+};
+
+const char* to_string(QueuePolicy p);
+/// Parse "drop" / "backpressure"; throws std::invalid_argument otherwise.
+QueuePolicy parse_queue_policy(const std::string& name);
+
+struct SwitchConfig {
+  /// Per-egress-port buffer depth in bytes (kDrop only; admission compares
+  /// occupancy + frame size against this, so a frame landing *exactly* at
+  /// the depth is still admitted).
+  std::uint64_t buffer_bytes = 256 * 1024;
+  QueuePolicy policy = QueuePolicy::kBackpressure;
+
+  friend bool operator==(const SwitchConfig&, const SwitchConfig&) = default;
+};
+
+/// Per-egress-port counters, sampled at every admission decision.
+struct PortStats {
+  std::uint64_t frames = 0;  ///< admitted frames
+  std::uint64_t bytes = 0;   ///< admitted wire bytes
+  std::uint64_t drops = 0;   ///< tail-dropped frames (kDrop only)
+  /// Peak queue depth in bytes, measured right after admission (occupancy
+  /// the admitted frame sees plus the frame itself).
+  std::uint64_t peak_queued_bytes = 0;
+  /// Sum of the occupancy each admitted frame found ahead of it; divide by
+  /// `frames` for the mean queue depth at arrival.
+  double queued_bytes_sum = 0.0;
+
+  double mean_queued_bytes() const {
+    return frames != 0 ? queued_bytes_sum / static_cast<double>(frames) : 0.0;
+  }
+};
+
+class Switch {
+ public:
+  explicit Switch(const SwitchConfig& cfg) : cfg_(cfg) {}
+
+  /// Admission decision for a frame of `wire_bytes` entering the egress
+  /// queue toward neighbour `egress` (whose link is `out`) at `now`.
+  /// Updates the port statistics; returns false when the frame is dropped.
+  bool admit(NodeId egress, sim::Time now, std::uint64_t wire_bytes,
+             const Link& out);
+
+  const SwitchConfig& config() const { return cfg_; }
+  /// Ordered by egress neighbour id, so iteration is deterministic.
+  const std::map<NodeId, PortStats>& ports() const { return ports_; }
+  /// Stats for one egress port; nullptr before any frame touched it.
+  const PortStats* port(NodeId egress) const;
+  std::uint64_t total_drops() const;
+
+ private:
+  SwitchConfig cfg_;
+  std::map<NodeId, PortStats> ports_;
+};
+
+}  // namespace tfsim::net

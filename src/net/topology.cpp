@@ -38,4 +38,41 @@ StarTopology StarTopology::build(Network& network,
   return topo;
 }
 
+LeafSpineFabric LeafSpineFabric::build(Network& network,
+                                       const LeafSpineConfig& cfg,
+                                       const std::vector<NodeId>& hosts) {
+  if (cfg.leaves == 0 || cfg.spines == 0) {
+    throw std::invalid_argument(
+        "LeafSpineFabric: needs at least one leaf and one spine");
+  }
+  if (hosts.size() < cfg.leaves) {
+    throw std::invalid_argument("LeafSpineFabric: fewer hosts (" +
+                                std::to_string(hosts.size()) +
+                                ") than leaves (" +
+                                std::to_string(cfg.leaves) + ")");
+  }
+  LeafSpineFabric topo;
+  for (std::uint32_t l = 0; l < cfg.leaves; ++l) {
+    topo.leaves.push_back(
+        network.add_switch(cfg.prefix + "leaf" + std::to_string(l), cfg.sw));
+  }
+  for (std::uint32_t s = 0; s < cfg.spines; ++s) {
+    topo.spines.push_back(
+        network.add_switch(cfg.prefix + "spine" + std::to_string(s), cfg.sw));
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const NodeId leaf = topo.leaves[i % topo.leaves.size()];
+    network.connect(hosts[i], leaf, cfg.edge);
+    network.connect(leaf, hosts[i], cfg.edge);
+  }
+  for (const NodeId leaf : topo.leaves) {
+    for (const NodeId spine : topo.spines) {
+      network.connect(leaf, spine, cfg.uplink);
+      network.connect(spine, leaf, cfg.uplink);
+    }
+  }
+  network.build_routes();
+  return topo;
+}
+
 }  // namespace tfsim::net

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/network.hpp"
@@ -33,6 +34,41 @@ struct StarTopology {
   /// empty).  Pair i routes borrower[i] -> lender[i] across the trunk and
   /// back.
   static StarTopology build(Network& network, const StarTopologyConfig& cfg);
+};
+
+struct LeafSpineConfig {
+  std::uint32_t leaves = 2;  ///< leaf (top-of-rack) switches
+  std::uint32_t spines = 2;  ///< spine switches, each linked to every leaf
+  LinkConfig edge;           ///< host <-> leaf hops
+  LinkConfig uplink;         ///< leaf <-> spine hops
+  SwitchConfig sw;           ///< per-switch egress queue policy
+  std::string prefix;        ///< switch-name prefix (Cluster scoping)
+};
+
+/// Two-tier leaf/spine fabric over already-registered hosts: host i attaches
+/// to leaf (i mod L) and every leaf links to every spine, so cross-leaf
+/// traffic ECMP-stripes across S parallel spine paths.  Aggregate bisection
+/// is S uplinks per leaf instead of the dumbbell's single trunk -- the
+/// contention cliff moves out by roughly the oversubscription ratio.
+///
+/// Unlike StarTopology, connectivity alone is declared; forwarding comes
+/// from the routing table (build() finishes with network.build_routes()).
+/// Switch nodes are appended *after* the hosts, preserving the identity
+/// host-index == NodeId partition the Cluster's PDES assembly relies on.
+struct LeafSpineFabric {
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+
+  /// Attach `hosts` (existing node ids) to a fresh leaf/spine tier in
+  /// `network`.  Throws when cfg declares zero leaves/spines or when there
+  /// are fewer hosts than leaves (an empty leaf would be dead weight).
+  static LeafSpineFabric build(Network& network, const LeafSpineConfig& cfg,
+                               const std::vector<NodeId>& hosts);
+
+  /// The leaf that build() attached host index `i` to.
+  NodeId leaf_of(std::size_t host_index) const {
+    return leaves[host_index % leaves.size()];
+  }
 };
 
 }  // namespace tfsim::net

@@ -105,15 +105,19 @@ void DisaggNic::set_distribution_injector(
 std::optional<sim::Time> DisaggNic::attempt_once(sim::Time depart,
                                                  Lender& lender, bool write,
                                                  sim::Priority prio,
+                                                 std::uint32_t attempt,
                                                  AccessTrace& t) {
   // 3. Packetize + serialize onto the egress path.  Lost frames still cost
   //    the sender their wire time (they were serialized before vanishing).
+  //    The attempt number salts the ECMP stripe, so retries re-roll the
+  //    spine pick instead of hammering a dead parallel link.
   const std::uint64_t req_bytes = write ? kDataBytes : kCmdOnlyBytes;
-  const auto req =
-      network_.deliver_ex(depart, self_, lender.node, req_bytes, prio);
+  const auto req = network_.deliver_ex(depart, self_, lender.node, req_bytes,
+                                       prio, attempt);
   wire_out_ += req_bytes;
   if (req.outcome == net::FaultOutcome::kLost ||
-      req.outcome == net::FaultOutcome::kFlapDropped) {
+      req.outcome == net::FaultOutcome::kFlapDropped ||
+      req.outcome == net::FaultOutcome::kSwitchDropped) {
     replay_.count_frame_lost();
     return std::nullopt;
   }
@@ -143,9 +147,11 @@ std::optional<sim::Time> DisaggNic::attempt_once(sim::Time depart,
   // 5. Response path (data-carrying for reads).
   const std::uint64_t resp_bytes = write ? kCmdOnlyBytes : kDataBytes;
   const auto resp = network_.deliver_ex(t.mem_done + lender.nic_latency,
-                                        lender.node, self_, resp_bytes, prio);
+                                        lender.node, self_, resp_bytes, prio,
+                                        attempt);
   if (resp.outcome == net::FaultOutcome::kLost ||
-      resp.outcome == net::FaultOutcome::kFlapDropped) {
+      resp.outcome == net::FaultOutcome::kFlapDropped ||
+      resp.outcome == net::FaultOutcome::kSwitchDropped) {
     replay_.count_frame_lost();
     return std::nullopt;
   }
@@ -216,7 +222,7 @@ std::optional<AccessTrace> DisaggNic::remote_access(sim::Time now,
     //    retransmitted frames traverse it again like any other egress.
     const sim::Time gate = injector_->admit(depart);
     if (attempt == 0) t.gate_out = gate;
-    const auto done = attempt_once(gate, lender, write, prio, t);
+    const auto done = attempt_once(gate, lender, write, prio, attempt, t);
     if (done.has_value()) {
       t.completion = *done + cfg_.processing_latency;
       t.retries = attempt;

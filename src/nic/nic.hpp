@@ -141,10 +141,12 @@ class DisaggNic {
   };
 
   /// One request/response round trip (no retry logic); nullopt when a frame
-  /// was lost/corrupted or the lender is down at request arrival.
+  /// was lost/dropped/corrupted or the lender is down at request arrival.
+  /// `attempt` salts the fabric's ECMP stripe, so a retransmission can take
+  /// a different parallel spine path than the attempt that died.
   std::optional<sim::Time> attempt_once(sim::Time depart, Lender& lender,
                                         bool write, sim::Priority prio,
-                                        AccessTrace& t);
+                                        std::uint32_t attempt, AccessTrace& t);
   void note_abandoned(std::uint32_t lender_id, Lender& lender);
 
   NicConfig cfg_;

@@ -7,6 +7,7 @@
 
 #include "ctrl/policy.hpp"
 #include "net/latency_dist.hpp"
+#include "net/topology.hpp"
 #include "sim/log.hpp"
 
 namespace tfsim::node {
@@ -64,8 +65,11 @@ void Cluster::resolve_pdes() {
   if (threads == 0) return;
   sim::PdesConfig cfg;
   cfg.threads = threads;
-  pdes_ = std::make_unique<sim::ParallelEngine>(spec_.expanded_node_count(),
-                                                cfg);
+  // Switches are domains too: hosts take [0, N), fabric switches take the
+  // ids after them, matching the order build_topology registers network
+  // nodes (so DomainId == network NodeId everywhere).
+  pdes_ = std::make_unique<sim::ParallelEngine>(
+      spec_.expanded_node_count() + spec_.topology.switch_count(), cfg);
   if (threads > 1 && domains_.mode() != sim::DomainCheckMode::kOff) {
     // The DomainGuard stack is intentionally not thread-safe (one stack per
     // checker); with parallel workers the ownership audit instead comes
@@ -117,10 +121,16 @@ void Cluster::build_topology() {
       break;
     case scenario::TopologyKind::kDumbbell: {
       // borrowers -- switchA == shared trunk == switchB -- lenders.  The
-      // switches are fabric elements, not compute nodes, so they live only
-      // in the network graph.
-      const net::NodeId sw_a = network_.add_node(spec_.name + "/switch-a");
-      const net::NodeId sw_b = network_.add_node(spec_.name + "/switch-b");
+      // switches are fabric elements, not compute nodes; forwarding comes
+      // from the routing table (the only shortest borrower->lender path is
+      // edge-trunk-edge, the exact hop list this used to enumerate per
+      // pair), with per-port egress admission from the switch config.
+      const net::NodeId sw_a =
+          network_.add_switch(spec_.name + "/switch-a", topo.sw);
+      const net::NodeId sw_b =
+          network_.add_switch(spec_.name + "/switch-b", topo.sw);
+      register_switch_domain(sw_a);
+      register_switch_domain(sw_b);
       network_.connect(sw_a, sw_b, topo.trunk);
       network_.connect(sw_b, sw_a, topo.trunk);
       for (Node* b : borrowers_) {
@@ -131,18 +141,39 @@ void Cluster::build_topology() {
         network_.connect(l->net_id(), sw_b, topo.link);
         network_.connect(sw_b, l->net_id(), topo.link);
       }
-      // Any borrower may be paired with any lender by the policy, so route
-      // every pair across the trunk.
-      for (Node* b : borrowers_) {
-        for (Node* l : lenders_) {
-          network_.add_route(b->net_id(), l->net_id(),
-                             {{b->net_id(), sw_a}, {sw_a, sw_b}, {sw_b, l->net_id()}});
-          network_.add_route(l->net_id(), b->net_id(),
-                             {{l->net_id(), sw_b}, {sw_b, sw_a}, {sw_a, b->net_id()}});
-        }
-      }
+      network_.build_routes();
       break;
     }
+    case scenario::TopologyKind::kLeafSpine: {
+      // Hosts spread round-robin over L leaves, every leaf uplinked to
+      // every spine; cross-leaf flows ECMP-stripe over the S spine paths.
+      net::LeafSpineConfig cfg;
+      cfg.leaves = topo.leaves;
+      cfg.spines = topo.spines;
+      cfg.edge = topo.link;
+      cfg.uplink = topo.uplink;
+      cfg.sw = topo.sw;
+      cfg.prefix = spec_.name + "/";
+      std::vector<net::NodeId> hosts;
+      hosts.reserve(nodes_.size());
+      for (const auto& n : nodes_) hosts.push_back(n->net_id());
+      const net::LeafSpineFabric fabric =
+          net::LeafSpineFabric::build(network_, cfg, hosts);
+      for (const net::NodeId sw : fabric.leaves) register_switch_domain(sw);
+      for (const net::NodeId sw : fabric.spines) register_switch_domain(sw);
+      break;
+    }
+  }
+}
+
+void Cluster::register_switch_domain(net::NodeId sw) {
+  const sim::DomainId dom = domains_.add_domain(network_.node_name(sw));
+  if (dom != static_cast<sim::DomainId>(sw)) {
+    throw std::logic_error(
+        "Cluster: switch domain id diverged from its network id");
+  }
+  if (pdes_ != nullptr) {
+    pdes_->domain(dom).bind_domain_checker(&domains_, dom);
   }
 }
 

@@ -93,6 +93,10 @@ class Cluster {
   void resolve_pdes();
   void build_nodes();
   void build_topology();
+  /// Give a fabric switch its own ownership domain (and, under PDES, its
+  /// own calendar): the DomainId must equal the network NodeId, extending
+  /// the host-index identity partition past the compute nodes.
+  void register_switch_domain(net::NodeId sw);
   void build_control_plane();
   void apply_injector();
   void apply_faults();

@@ -94,6 +94,23 @@ net::LinkConfig parse_link(const Json& obj, const std::string& where) {
   return cfg;
 }
 
+net::SwitchConfig parse_switch(const Json& obj) {
+  check_keys(obj, "switch", {"buffer_kib", "policy"});
+  net::SwitchConfig cfg;
+  cfg.buffer_bytes = static_cast<std::uint64_t>(
+      get_double(obj, "buffer_kib",
+                 static_cast<double>(cfg.buffer_bytes) / 1024.0) *
+      1024.0);
+  const std::string policy =
+      get_string(obj, "policy", net::to_string(cfg.policy));
+  try {
+    cfg.policy = net::parse_queue_policy(policy);
+  } catch (const std::invalid_argument&) {
+    throw JsonError("scenario: unknown switch policy \"" + policy + "\"");
+  }
+  return cfg;
+}
+
 NodeDecl parse_node(const Json& obj) {
   check_keys(obj, "node", {"name", "role", "count", "dram", "with_nic", "nic"});
   NodeDecl decl;
@@ -221,12 +238,18 @@ Role parse_role(const std::string& name) {
 }
 
 std::string to_string(TopologyKind kind) {
-  return kind == TopologyKind::kDirect ? "direct" : "dumbbell";
+  switch (kind) {
+    case TopologyKind::kDirect: return "direct";
+    case TopologyKind::kDumbbell: return "dumbbell";
+    case TopologyKind::kLeafSpine: return "leaf_spine";
+  }
+  return "?";
 }
 
 TopologyKind parse_topology_kind(const std::string& name) {
   if (name == "direct") return TopologyKind::kDirect;
   if (name == "dumbbell") return TopologyKind::kDumbbell;
+  if (name == "leaf_spine") return TopologyKind::kLeafSpine;
   throw JsonError("scenario: unknown topology kind \"" + name + "\"");
 }
 
@@ -271,7 +294,9 @@ ScenarioSpec from_json(const Json& doc) {
   for (const auto& n : nodes->items()) spec.nodes.push_back(parse_node(n));
 
   if (const Json* topo = doc.find("topology")) {
-    check_keys(*topo, "topology", {"kind", "link", "trunk"});
+    check_keys(*topo, "topology",
+               {"kind", "link", "trunk", "uplink", "leaves", "spines",
+                "switch"});
     spec.topology.kind =
         parse_topology_kind(get_string(*topo, "kind", "direct"));
     if (const Json* l = topo->find("link")) {
@@ -279,6 +304,20 @@ ScenarioSpec from_json(const Json& doc) {
     }
     if (const Json* t = topo->find("trunk")) {
       spec.topology.trunk = parse_link(*t, "trunk");
+    }
+    if (const Json* u = topo->find("uplink")) {
+      spec.topology.uplink = parse_link(*u, "uplink");
+    }
+    spec.topology.leaves = static_cast<std::uint32_t>(
+        get_uint(*topo, "leaves", spec.topology.leaves));
+    spec.topology.spines = static_cast<std::uint32_t>(
+        get_uint(*topo, "spines", spec.topology.spines));
+    if (spec.topology.leaves == 0 || spec.topology.spines == 0) {
+      throw JsonError(
+          "scenario: topology leaves and spines must each be >= 1");
+    }
+    if (const Json* s = topo->find("switch")) {
+      spec.topology.sw = parse_switch(*s);
     }
   }
 
@@ -378,6 +417,15 @@ Json to_json(const ScenarioSpec& spec) {
   topo.set("kind", Json::string(to_string(spec.topology.kind)));
   topo.set("link", dump_link(spec.topology.link));
   topo.set("trunk", dump_link(spec.topology.trunk));
+  topo.set("uplink", dump_link(spec.topology.uplink));
+  topo.set("leaves", Json::number(std::uint64_t{spec.topology.leaves}));
+  topo.set("spines", Json::number(std::uint64_t{spec.topology.spines}));
+  Json sw_cfg = Json::object();
+  sw_cfg.set("buffer_kib",
+             Json::number(static_cast<double>(spec.topology.sw.buffer_bytes) /
+                          1024.0));
+  sw_cfg.set("policy", Json::string(net::to_string(spec.topology.sw.policy)));
+  topo.set("switch", std::move(sw_cfg));
   doc.set("topology", std::move(topo));
 
   Json inj = Json::object();
@@ -507,10 +555,45 @@ ScenarioSpec shared_trunk(std::uint32_t borrowers) {
   return spec;
 }
 
+ScenarioSpec leafspine_rack(std::uint32_t borrowers) {
+  ScenarioSpec spec;
+  spec.name = "leafspine-rack";
+  spec.description =
+      "M borrower-lender pairs across a 2-tier leaf/spine fabric; partners "
+      "sit on different leaves so every access ECMP-stripes over the spines "
+      "-- the contention cliff moves out by the spine count vs one trunk";
+  NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = Role::kBorrower;
+  borrower.with_nic = true;
+  borrower.count = borrowers;
+  NodeDecl lender;
+  lender.name = "lender";
+  lender.role = Role::kLender;
+  lender.with_nic = false;
+  lender.count = borrowers;
+  spec.nodes = {borrower, lender};
+  spec.topology.kind = TopologyKind::kLeafSpine;
+  spec.topology.leaves = 8;
+  spec.topology.spines = 4;
+  spec.topology.uplink = spec.topology.link;
+  spec.policy = "most-free";
+  ReservationSpec res;
+  res.size_gib = 4;
+  res.name = "rack-share";
+  spec.reservations.push_back(res);
+  spec.workloads.push_back(WorkloadSpec{"flow", "remote"});
+  spec.sweep.borrowers = {16, 32, 64, 128, 256};
+  spec.sweep.periods = {1};
+  spec.pdes.threads = 8;
+  return spec;
+}
+
 std::optional<ScenarioSpec> builtin(const std::string& name) {
   if (name == "paper_twonode") return paper_two_node();
   if (name == "pooling_1xN") return pooling_1xN();
   if (name == "trunk_contention") return shared_trunk();
+  if (name == "leafspine_rack128") return leafspine_rack();
   return std::nullopt;
 }
 

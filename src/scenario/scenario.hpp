@@ -21,6 +21,7 @@
 #include "net/fault.hpp"
 #include "net/latency_dist.hpp"
 #include "net/link.hpp"
+#include "net/switch.hpp"
 #include "nic/nic.hpp"
 #include "scenario/json.hpp"
 #include "sim/units.hpp"
@@ -51,6 +52,7 @@ struct NodeDecl {
 enum class TopologyKind {
   kDirect,    ///< full-mesh borrower <-> lender point-to-point cables
   kDumbbell,  ///< borrowers -- switchA == shared trunk == switchB -- lenders
+  kLeafSpine, ///< 2-tier fabric: hosts -- L leaves == S spines (ECMP-striped)
 };
 
 std::string to_string(TopologyKind kind);
@@ -58,8 +60,23 @@ TopologyKind parse_topology_kind(const std::string& name);
 
 struct TopologySpec {
   TopologyKind kind = TopologyKind::kDirect;
-  net::LinkConfig link;   ///< direct cables / dumbbell edge hops
-  net::LinkConfig trunk;  ///< dumbbell only: the shared switch-switch hop
+  net::LinkConfig link;    ///< direct cables / host <-> switch edge hops
+  net::LinkConfig trunk;   ///< dumbbell only: the shared switch-switch hop
+  net::LinkConfig uplink;  ///< leaf_spine only: the leaf <-> spine hops
+  std::uint32_t leaves = 2;   ///< leaf_spine only
+  std::uint32_t spines = 2;   ///< leaf_spine only
+  net::SwitchConfig sw;       ///< egress queue policy for every switch
+
+  /// Fabric nodes the topology adds beyond the declared hosts (the Cluster
+  /// sizes its PDES partition as expanded_node_count() + switch_count()).
+  std::uint32_t switch_count() const {
+    switch (kind) {
+      case TopologyKind::kDirect: return 0;
+      case TopologyKind::kDumbbell: return 2;
+      case TopologyKind::kLeafSpine: return leaves + spines;
+    }
+    return 0;
+  }
 };
 
 /// Delay-injection settings applied to every borrower NIC at build time.
@@ -170,9 +187,14 @@ ScenarioSpec paper_two_node();
 ScenarioSpec pooling_1xN(std::uint32_t lenders = 4);
 /// `borrowers` borrower-lender pairs sharing one dumbbell trunk.
 ScenarioSpec shared_trunk(std::uint32_t borrowers = 4);
+/// `borrowers` borrower-lender pairs spread over a rack-scale leaf/spine
+/// fabric (8 leaves x 4 spines at the default 128 pairs); partners land on
+/// different leaves so every access crosses a spine.
+ScenarioSpec leafspine_rack(std::uint32_t borrowers = 128);
 
 /// Look up a built-in by its scenario file stem ("paper_twonode",
-/// "pooling_1xN", "trunk_contention"); nullopt when unknown.
+/// "pooling_1xN", "trunk_contention", "leafspine_rack128"); nullopt when
+/// unknown.
 std::optional<ScenarioSpec> builtin(const std::string& name);
 
 }  // namespace tfsim::scenario

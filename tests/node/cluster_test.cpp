@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "node/cluster.hpp"
 #include "node/testbed.hpp"
@@ -99,6 +102,131 @@ TEST(ClusterTest, AttachTimesOutAtExtremePeriod) {
   spec.borrower.nic.period = 10000;
   Testbed tb(spec);
   EXPECT_FALSE(tb.attach_remote());
+}
+
+// --- leaf/spine fabric ------------------------------------------------------
+
+// A small rack: 3 borrower-lender pairs over 2 leaves x 2 spines.  With
+// B=3 not divisible by L=2, borrower i and lender i always land on
+// opposite leaves, so every remote access crosses a spine.
+scenario::ScenarioSpec small_rack() {
+  scenario::ScenarioSpec spec = scenario::leafspine_rack(3);
+  spec.topology.leaves = 2;
+  spec.topology.spines = 2;
+  spec.pdes.threads = 0;  // serial: keep the runtime domain checker armed
+  return spec;
+}
+
+net::NodeId find_net_node(net::Network& net, const std::string& name) {
+  for (net::NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node_name(id) == name) return id;
+  }
+  throw std::invalid_argument("no network node named " + name);
+}
+
+TEST(ClusterLeafSpineTest, BuildsSwitchTierBehindTheHosts) {
+  Cluster cluster(small_rack());
+  ASSERT_EQ(cluster.num_nodes(), 6u);
+  auto& net = cluster.network();
+  EXPECT_EQ(net.num_nodes(), 10u) << "6 hosts + 2 leaves + 2 spines";
+  for (net::NodeId id = 0; id < 6; ++id) EXPECT_FALSE(net.is_switch(id));
+  for (net::NodeId id = 6; id < 10; ++id) EXPECT_TRUE(net.is_switch(id));
+  const auto leaf0 = find_net_node(net, "leafspine-rack/leaf0");
+  const auto spine1 = find_net_node(net, "leafspine-rack/spine1");
+  EXPECT_TRUE(net.has_link(leaf0, spine1));
+  // Every borrower reaches every lender through the table, both ways.
+  for (std::size_t b = 0; b < cluster.num_borrowers(); ++b) {
+    for (std::size_t l = 0; l < cluster.num_lenders(); ++l) {
+      EXPECT_TRUE(net.has_route(cluster.borrower(b).net_id(),
+                                cluster.lender(l).net_id()));
+      EXPECT_TRUE(net.has_route(cluster.lender(l).net_id(),
+                                cluster.borrower(b).net_id()));
+    }
+  }
+}
+
+TEST(ClusterLeafSpineTest, RemoteAccessCrossesTheSpineTier) {
+  Cluster cluster(small_rack());
+  ASSERT_TRUE(cluster.attach_remote());
+  for (std::size_t b = 0; b < cluster.num_borrowers(); ++b) {
+    const auto t = cluster.borrower(b).nic().remote_access(
+        0, cluster.remote_base(b), false);
+    ASSERT_TRUE(t.has_value()) << "borrower " << b;
+    EXPECT_GT(t->completion, t->issued);
+  }
+  // The partner lender is on the other leaf, so the round trips must have
+  // moved bytes through at least one spine uplink.
+  auto& net = cluster.network();
+  std::uint64_t spine_bytes = 0;
+  for (const char* spine : {"leafspine-rack/spine0", "leafspine-rack/spine1"}) {
+    const auto sp = find_net_node(net, spine);
+    for (const auto& [port, stats] : net.switch_at(sp).ports()) {
+      spine_bytes += stats.bytes;
+    }
+  }
+  EXPECT_GT(spine_bytes, 0u);
+}
+
+TEST(ClusterLeafSpineTest, PdesPartitionIncludesSwitchDomains) {
+  scenario::ScenarioSpec spec = small_rack();
+  spec.pdes.threads = 2;
+  Cluster cluster(spec);
+  ASSERT_NE(cluster.pdes(), nullptr);
+  EXPECT_EQ(cluster.pdes()->num_domains(), 10u)
+      << "hosts and switches each own a calendar";
+  EXPECT_EQ(cluster.pdes()->lookahead(), cluster.network().min_propagation());
+  ASSERT_TRUE(cluster.attach_remote());
+  const auto t = cluster.borrower(0).nic().remote_access(
+      0, cluster.remote_base(0), false);
+  EXPECT_TRUE(t.has_value());
+}
+
+// ISSUE 8 satellite: a flapped (hard-down) spine must not strand traffic --
+// ECMP re-salting on retry routes around it and the replay ledger drains.
+TEST(ClusterLeafSpineTest, FlappedSpineReroutesWithoutHangingReplay) {
+  scenario::ScenarioSpec spec = small_rack();
+  for (auto& node : spec.nodes) {
+    node.nic.replay.retry_timeout = sim::from_us(5.0);
+    node.nic.replay.max_retries = 8;
+  }
+  Cluster cluster(spec);
+  ASSERT_TRUE(cluster.attach_remote());
+
+  auto& net = cluster.network();
+  const auto spine0 = find_net_node(net, "leafspine-rack/spine0");
+  const auto spine1 = find_net_node(net, "leafspine-rack/spine1");
+  const auto leaf0 = find_net_node(net, "leafspine-rack/leaf0");
+  const auto leaf1 = find_net_node(net, "leafspine-rack/leaf1");
+  net::FaultConfig down;
+  down.flaps.push_back(net::FlapSpec{0, sim::from_ms(1000.0), 0.0});
+  for (const auto leaf : {leaf0, leaf1}) {
+    net.enable_faults_on(leaf, spine0, down);
+    net.enable_faults_on(spine0, leaf, down);
+  }
+
+  std::uint64_t completions = 0, retries = 0;
+  for (std::size_t b = 0; b < cluster.num_borrowers(); ++b) {
+    auto& nic = cluster.borrower(b).nic();
+    for (int i = 0; i < 4; ++i) {
+      const auto t = nic.remote_access(sim::from_us(20.0) * (i + 1),
+                                       cluster.remote_base(b), i % 2 == 1);
+      ASSERT_TRUE(t.has_value()) << "borrower " << b << " access " << i
+                                 << " must reroute, not abandon";
+      ++completions;
+    }
+    retries += nic.replay().retries();
+    EXPECT_EQ(nic.replay().abandoned(), 0u);
+    nic.check_quiesced();
+  }
+  EXPECT_EQ(completions, 12u);
+  EXPECT_GT(retries, 0u)
+      << "some first attempt must have struck the dead spine";
+  // All surviving traffic squeezed through spine1.
+  std::uint64_t alive_bytes = 0;
+  for (const auto& [port, stats] : net.switch_at(spine1).ports()) {
+    alive_bytes += stats.bytes;
+  }
+  EXPECT_GT(alive_bytes, 0u);
 }
 
 // --- fault wiring ----------------------------------------------------------

@@ -179,7 +179,9 @@ TEST(PdesPropertyTest, ClusterPartitionAlignsNodesAndDomains) {
 
     node::Cluster cluster(spec);
     ASSERT_NE(cluster.pdes(), nullptr) << "seed " << seed;
-    EXPECT_EQ(cluster.pdes()->num_domains(), cluster.num_nodes());
+    // Fabric switches own trailing domains after the hosts.
+    EXPECT_EQ(cluster.pdes()->num_domains(),
+              cluster.num_nodes() + spec.topology.switch_count());
     EXPECT_EQ(cluster.pdes()->lookahead(),
               cluster.network().min_propagation())
         << "seed " << seed;

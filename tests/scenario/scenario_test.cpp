@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "node/testbed.hpp"
 #include "scenario/json.hpp"
@@ -16,7 +18,32 @@ TEST(ScenarioBuiltinTest, LookupByFileStem) {
   EXPECT_TRUE(builtin("paper_twonode").has_value());
   EXPECT_TRUE(builtin("pooling_1xN").has_value());
   EXPECT_TRUE(builtin("trunk_contention").has_value());
+  EXPECT_TRUE(builtin("leafspine_rack128").has_value());
   EXPECT_FALSE(builtin("no-such-scenario").has_value());
+}
+
+TEST(ScenarioBuiltinTest, LeafSpineRackShape) {
+  const ScenarioSpec spec = leafspine_rack();
+  EXPECT_EQ(spec.topology.kind, TopologyKind::kLeafSpine);
+  EXPECT_EQ(spec.topology.leaves, 8u);
+  EXPECT_EQ(spec.topology.spines, 4u);
+  EXPECT_EQ(spec.topology.switch_count(), 12u);
+  EXPECT_EQ(spec.expanded_node_count(), 256u);  // 128 borrowers + 128 lenders
+  EXPECT_TRUE(spec.pdes.enabled());
+  EXPECT_EQ(spec.sweep.borrowers,
+            (std::vector<std::uint32_t>{16, 32, 64, 128, 256}));
+}
+
+TEST(ScenarioBuiltinTest, SwitchCountPerKind) {
+  ScenarioSpec spec;
+  spec.topology.kind = TopologyKind::kDirect;
+  EXPECT_EQ(spec.topology.switch_count(), 0u);
+  spec.topology.kind = TopologyKind::kDumbbell;
+  EXPECT_EQ(spec.topology.switch_count(), 2u);
+  spec.topology.kind = TopologyKind::kLeafSpine;
+  spec.topology.leaves = 3;
+  spec.topology.spines = 2;
+  EXPECT_EQ(spec.topology.switch_count(), 5u);
 }
 
 TEST(ScenarioBuiltinTest, PaperTwoNodeMatchesTestbedDefaults) {
@@ -57,11 +84,61 @@ TEST(ScenarioBuiltinTest, CountExpansionAndOverrides) {
 // --- JSON parse / serialize --------------------------------------------
 
 TEST(ScenarioJsonTest, ResolvedJsonRoundTripsExactly) {
-  for (const char* name : {"paper_twonode", "pooling_1xN", "trunk_contention"}) {
+  for (const char* name : {"paper_twonode", "pooling_1xN", "trunk_contention",
+                           "leafspine_rack128"}) {
     const ScenarioSpec spec = *builtin(name);
     const std::string dumped = resolved_json(spec);
     EXPECT_EQ(resolved_json(parse(dumped)), dumped) << name;
   }
+}
+
+TEST(ScenarioJsonTest, LeafSpineTopologyBlockParses) {
+  const ScenarioSpec spec = parse(R"({
+    "name": "rack",
+    "nodes": [
+      {"name": "b", "role": "borrower", "count": 4},
+      {"name": "l", "role": "lender", "count": 4}
+    ],
+    "topology": {"kind": "leaf_spine", "leaves": 2, "spines": 3,
+                 "uplink": {"bandwidth_gbit": 200, "propagation_ns": 450},
+                 "switch": {"buffer_kib": 64, "policy": "drop"}}
+  })");
+  EXPECT_EQ(spec.topology.kind, TopologyKind::kLeafSpine);
+  EXPECT_EQ(spec.topology.leaves, 2u);
+  EXPECT_EQ(spec.topology.spines, 3u);
+  EXPECT_DOUBLE_EQ(spec.topology.uplink.bandwidth.gbit_per_sec(), 200.0);
+  EXPECT_EQ(spec.topology.uplink.propagation, sim::from_ns(450.0));
+  EXPECT_EQ(spec.topology.sw.buffer_bytes, 64u * 1024u);
+  EXPECT_EQ(spec.topology.sw.policy, net::QueuePolicy::kDrop);
+  const std::string dumped = resolved_json(spec);
+  EXPECT_EQ(resolved_json(parse(dumped)), dumped);
+}
+
+TEST(ScenarioJsonTest, TopologyDefaultsStaySwitchless) {
+  const ScenarioSpec spec = parse(R"({"nodes": [{"name": "b"}]})");
+  EXPECT_EQ(spec.topology.kind, TopologyKind::kDirect);
+  EXPECT_EQ(spec.topology.leaves, 2u);
+  EXPECT_EQ(spec.topology.spines, 2u);
+  EXPECT_EQ(spec.topology.sw.policy, net::QueuePolicy::kBackpressure);
+}
+
+TEST(ScenarioJsonTest, LeafSpineValidation) {
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "topology": {"kind": "leaf_spine", "leaves": 0}})"),
+               JsonError);
+  EXPECT_THROW(parse(R"({"nodes": [{"name": "b"}],
+                          "topology": {"kind": "leaf_spine", "spines": 0}})"),
+               JsonError);
+  EXPECT_THROW(
+      parse(R"({"nodes": [{"name": "b"}],
+                "topology": {"switch": {"policy": "red"}}})"),
+      JsonError)
+      << "unknown queue policy";
+  EXPECT_THROW(
+      parse(R"({"nodes": [{"name": "b"}],
+                "topology": {"switch": {"depth_kib": 64}}})"),
+      JsonError)
+      << "unknown switch key";
 }
 
 TEST(ScenarioJsonTest, UnitsBearingKeysParse) {

@@ -38,6 +38,11 @@
 //      lookahead; the serial run (TFSIM_PDES=off equivalent) and an
 //      8-worker barrier-window run must produce byte-identical per-domain
 //      digests, clocks and link counters.
+//   9. the leaf/spine fabric: post_routed hop-by-hop forwarding through
+//      shared switches with shallow kDrop egress buffers, so ECMP striping,
+//      switch admission, and tail drops all land in the digest; the serial
+//      and 8-worker runs must agree byte-for-byte, and the traffic must
+//      actually overflow a buffer (drops > 0) or the check proved nothing.
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
@@ -63,6 +68,8 @@
 #include "node/cluster.hpp"
 #include "node/node.hpp"
 #include "net/network.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
 #include "node/testbed.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
@@ -547,6 +554,121 @@ bool scenario_pdes(std::uint64_t seed, std::ostringstream& out) {
   return match;
 }
 
+// Scenario 9: the leaf/spine fabric under PDES.  Hop-by-hop post_routed
+// forwarding is the only sound way to drive *shared* switches in parallel
+// (each egress link is transmitted on only from its owner's domain), so the
+// digest covers routing-table forwarding, deterministic ECMP striping, and
+// the kDrop admission path under deliberately shallow buffers.
+std::string fabric_traffic(std::uint64_t seed, unsigned threads,
+                           std::uint64_t& total_drops) {
+  namespace net = tfsim::net;
+  namespace sim = tfsim::sim;
+
+  constexpr std::size_t kHosts = 8;
+  net::Network fabric;
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(kHosts);
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    hosts.push_back(fabric.add_node("h" + std::to_string(i)));
+  }
+  net::LeafSpineConfig topo;
+  topo.leaves = 2;
+  topo.spines = 2;
+  topo.edge.bandwidth = sim::Bandwidth::from_gbit(50.0);
+  topo.edge.propagation = sim::from_ns(120.0);
+  topo.uplink.bandwidth = sim::Bandwidth::from_gbit(50.0);
+  topo.uplink.propagation = sim::from_ns(200.0);
+  topo.sw.policy = net::QueuePolicy::kDrop;
+  topo.sw.buffer_bytes = 4096;  // shallow on purpose: tail drops must occur
+  const auto rack = net::LeafSpineFabric::build(fabric, topo, hosts);
+
+  const std::size_t kDomains = kHosts + rack.leaves.size() + rack.spines.size();
+  sim::PdesConfig cfg;
+  cfg.threads = threads;
+  cfg.lookahead = fabric.min_propagation();
+  sim::ParallelEngine pdes(kDomains, cfg);
+
+  std::vector<Rng> rng;
+  std::vector<std::uint64_t> fold(kHosts, 0);
+  std::vector<std::uint64_t> arrivals(kHosts, 0);
+  rng.reserve(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    rng.emplace_back(seed ^ (0x9E3779B97F4A7C15ULL * (h + 1)));
+  }
+
+  // Bounce chains host i -> (i + 1) % kHosts: hosts alternate leaves, so
+  // every frame crosses the spine tier and contends for the shallow uplink
+  // buffers.  A tail-dropped frame ends its chain silently -- which chains
+  // survive is itself part of the determinism claim.  Per-host state (rng,
+  // fold, arrivals) is only touched from the owning domain.
+  std::function<void(net::NodeId, int, std::uint64_t)> bounce =
+      [&](net::NodeId h, int budget, std::uint64_t flow) {
+        sim::Engine& self = pdes.domain(static_cast<sim::DomainId>(h));
+        fold[h] = fold[h] * 1099511628211ULL ^ self.now() ^ h;
+        ++arrivals[h];
+        if (budget <= 0) return;
+        const auto dst = static_cast<net::NodeId>((h + 1) % kHosts);
+        const std::uint64_t bytes = 256 + rng[h].uniform_u64(1200);
+        fabric.post_routed(pdes, self.now(), h, dst, bytes,
+                           sim::Priority::kBulk, flow,
+                           [&bounce, dst, budget, flow](const net::Delivery&) {
+                             bounce(dst, budget - 1, flow + 1);
+                           });
+      };
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    for (int chain = 0; chain < 4; ++chain) {
+      const sim::Time start = 1 + rng[h].uniform_u64(cfg.lookahead);
+      const auto flow = static_cast<std::uint64_t>(h * 131 + chain);
+      pdes.post(static_cast<sim::DomainId>(h), static_cast<sim::DomainId>(h),
+                start, [&bounce, h, flow] {
+                  bounce(static_cast<net::NodeId>(h), 40, flow);
+                });
+    }
+  }
+  pdes.run();
+
+  std::ostringstream os;
+  total_drops = 0;
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    os << h << ":" << fold[h] << ":" << arrivals[h] << ":"
+       << pdes.domain(static_cast<sim::DomainId>(h)).executed() << ":"
+       << pdes.domain(static_cast<sim::DomainId>(h)).now() << ";";
+  }
+  for (const auto& [id, sw] : fabric.switches()) {
+    os << "S" << id << "=" << sw.total_drops();
+    for (const auto& [egress, port] : sw.ports()) {
+      os << ",p" << egress << ":" << port.frames << ":" << port.bytes << ":"
+         << port.drops << ":" << port.peak_queued_bytes;
+    }
+    os << ";";
+    total_drops += sw.total_drops();
+  }
+  return os.str();
+}
+
+bool scenario_fabric(std::uint64_t seed, std::ostringstream& out) {
+  std::uint64_t serial_drops = 0, parallel_drops = 0;
+  const std::string serial = fabric_traffic(seed, 1, serial_drops);
+  const std::string parallel = fabric_traffic(seed, 8, parallel_drops);
+
+  Digest d;
+  for (const char c : serial) d.add(static_cast<std::uint64_t>(c));
+  const bool match = serial == parallel && serial_drops > 0;
+  out << "fabric: digest=" << d.h << " drops=" << serial_drops
+      << " serial==8-thread=" << (serial == parallel ? "yes" : "NO") << "\n";
+  if (serial != parallel) {
+    std::fprintf(stderr,
+                 "determinism_check: leaf/spine fabric diverged across "
+                 "thread counts\n--- serial ---\n%s\n--- 8 threads ---\n%s\n",
+                 serial.c_str(), parallel.c_str());
+  } else if (serial_drops == 0) {
+    std::fprintf(stderr,
+                 "determinism_check: fabric scenario saw no switch drops -- "
+                 "the kDrop admission path went unexercised\n");
+  }
+  return match;
+}
+
 std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
@@ -557,6 +679,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   sweep_ok = scenario_cluster_refactor(out) && sweep_ok;
   sweep_ok = scenario_faults(seed, out) && sweep_ok;
   sweep_ok = scenario_pdes(seed, out) && sweep_ok;
+  sweep_ok = scenario_fabric(seed, out) && sweep_ok;
   return out.str();
 }
 

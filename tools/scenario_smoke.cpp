@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
   if (names.empty()) {
-    names = {"paper_twonode", "pooling_1xN", "trunk_contention"};
+    names = {"paper_twonode", "pooling_1xN", "trunk_contention",
+             "leafspine_rack128"};
   }
   bool ok = true;
   for (const auto& n : names) ok = smoke(n) && ok;
