@@ -1,0 +1,354 @@
+#include "core/serving.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "ctrl/qos.hpp"
+#include "ctrl/serving_control.hpp"
+#include "sim/log.hpp"
+
+namespace tfsim::core {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// Lender-side serving state.  Mutated only by events on the lender's own
+/// domain calendar (QoS credits, the serial service queue), which is the
+/// PDES-safety contract: concurrent borrower domains reach it exclusively
+/// through post_routed frames that arrive on the lender's calendar.
+struct LenderState {
+  net::NodeId net_id = 0;
+  sim::Engine* engine = nullptr;
+  sim::Time busy_until = 0;
+  sim::Time dead_at = sim::kTimeNever;
+  std::unique_ptr<ctrl::CreditQos> qos;  ///< null = uncapped lender
+  std::uint64_t served = 0;
+};
+
+/// Borrower-side per-(borrower, tenant) source state.  Mutated only from
+/// the borrower's domain (arrival, completion, timeout and observer events
+/// all run there).
+struct SourceState {
+  std::size_t borrower_idx = 0;
+  std::uint32_t tenant_idx = 0;
+  net::NodeId borrower_net = 0;
+  std::uint32_t target = 0;               ///< current lender index
+  std::vector<std::uint32_t> failover;    ///< remaining chain, lender indexes
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t failovers = 0;
+  TailTracker tracker;
+  std::unique_ptr<workloads::OpenLoopSource> source;
+
+  explicit SourceState(sim::Time window) : tracker(window) {}
+};
+
+std::string fmt_us(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+ServingReport run_serving(node::Cluster& cluster) {
+  const scenario::ScenarioSpec& spec = cluster.spec();
+  const scenario::TrafficSpec& traffic = spec.traffic;
+  if (!traffic.enabled()) {
+    throw std::invalid_argument("run_serving: scenario has no traffic block");
+  }
+  sim::ParallelEngine* pdes = cluster.pdes();
+  if (pdes == nullptr) {
+    throw std::invalid_argument(
+        "run_serving: the routed dispatcher needs per-node calendars; set "
+        "pdes.threads >= 1 (1 = serial baseline)");
+  }
+  if (cluster.num_lenders() == 0) {
+    throw std::invalid_argument("run_serving: no lender nodes");
+  }
+
+  // --- Tenant mix (default: one tenant carrying the whole rate). ----------
+  std::vector<scenario::TrafficTenantSpec> tenants = traffic.tenants;
+  if (tenants.empty()) tenants.push_back(scenario::TrafficTenantSpec{});
+
+  // --- Control plane: admission + placement + failover chains. ------------
+  ctrl::ServingConfig scfg;
+  scfg.admission.lender_capacity_rps =
+      traffic.lender_capacity_rps > 0.0 ? traffic.lender_capacity_rps : 1e18;
+  scfg.failover_depth = static_cast<std::uint32_t>(cluster.num_lenders());
+  ctrl::ServingController sctl(cluster.registry(),
+                               ctrl::make_policy(spec.policy), scfg);
+
+  std::map<std::uint32_t, std::uint32_t> lender_idx_by_registry;
+  for (std::size_t i = 0; i < cluster.num_lenders(); ++i) {
+    lender_idx_by_registry[cluster.registry_id(cluster.lender(i))] =
+        static_cast<std::uint32_t>(i);
+  }
+  const std::uint32_t admission_borrower =
+      cluster.registry_id(cluster.borrower(0));
+
+  std::vector<ctrl::TenantSpec> tenant_specs;
+  std::vector<ctrl::Placement> placements;
+  for (const auto& t : tenants) {
+    ctrl::TenantSpec ts;
+    ts.name = t.name;
+    ts.weight = t.weight;
+    ts.rate_rps = traffic.rate_rps * t.rate_share;
+    ts.bytes = static_cast<std::uint64_t>(traffic.tenant_gib *
+                                          static_cast<double>(sim::kGiB));
+    const auto placed = sctl.admit_tenant(ts, admission_borrower);
+    if (!placed.has_value()) {
+      throw std::runtime_error("run_serving: tenant \"" + t.name +
+                               "\" rejected by admission control");
+    }
+    tenant_specs.push_back(ts);
+    placements.push_back(*placed);
+  }
+
+  // --- Lender-side state. -------------------------------------------------
+  const sim::Time svc =
+      traffic.lender_capacity_rps > 0.0
+          ? static_cast<sim::Time>(1e12 / traffic.lender_capacity_rps)
+          : 0;
+  std::vector<std::unique_ptr<LenderState>> lenders;
+  for (std::size_t i = 0; i < cluster.num_lenders(); ++i) {
+    auto L = std::make_unique<LenderState>();
+    L->net_id = cluster.lender(i).net_id();
+    L->engine = &cluster.lender(i).engine();
+    if (!spec.faults.kill_lender.empty() &&
+        cluster.lender(i).name() == spec.faults.kill_lender) {
+      L->dead_at = sim::from_us(spec.faults.kill_at_us);
+    }
+    if (traffic.lender_capacity_rps > 0.0) {
+      ctrl::QosConfig qcfg;
+      qcfg.window = sim::from_us(traffic.qos_window_us);
+      qcfg.capacity_per_window = static_cast<std::uint64_t>(
+          traffic.lender_capacity_rps * traffic.qos_window_us * 1e-6);
+      L->qos = std::make_unique<ctrl::CreditQos>(qcfg);
+      // Every tenant is registered on every lender (slot == tenant index)
+      // so a failed-over tenant arrives with its weight already in place.
+      for (const auto& t : tenants) L->qos->add_tenant(t.name, t.weight);
+    }
+    lenders.push_back(std::move(L));
+  }
+
+  // --- Borrower-side sources: one per (borrower, tenant). -----------------
+  const sim::Time slo_window = sim::from_us(spec.slo.window_us);
+  const SloTargets targets{spec.slo.p50_us, spec.slo.p99_us, spec.slo.p999_us};
+  const std::size_t nb = cluster.num_borrowers();
+  net::Network& net = cluster.network();
+
+  std::vector<std::unique_ptr<SourceState>> states;
+  sim::SplitMix64 seeds(traffic.seed);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::uint32_t ti = 0; ti < tenants.size(); ++ti) {
+      auto st = std::make_unique<SourceState>(slo_window);
+      st->borrower_idx = b;
+      st->tenant_idx = ti;
+      st->borrower_net = cluster.borrower(b).net_id();
+      st->target = lender_idx_by_registry.at(placements[ti].primary);
+      for (const auto rid : placements[ti].failover) {
+        st->failover.push_back(lender_idx_by_registry.at(rid));
+      }
+      states.push_back(std::move(st));
+    }
+  }
+
+  for (std::size_t si = 0; si < states.size(); ++si) {
+    SourceState& st = *states[si];
+    const std::uint32_t ti = st.tenant_idx;
+
+    workloads::OpenLoopConfig ocfg;
+    ocfg.arrivals.kind = workloads::arrival_kind_from(traffic.process);
+    ocfg.arrivals.rate_rps =
+        traffic.rate_rps * tenants[ti].rate_share / static_cast<double>(nb);
+    ocfg.arrivals.seed = seeds.next();
+    ocfg.arrivals.burst_on_us = traffic.burst_on_us;
+    ocfg.arrivals.burst_off_us = traffic.burst_off_us;
+    ocfg.arrivals.diurnal_period_us = traffic.diurnal_period_us;
+    ocfg.arrivals.diurnal_amplitude = traffic.diurnal_amplitude;
+    ocfg.clients = traffic.clients / std::max<std::size_t>(1, states.size());
+    ocfg.max_in_flight = traffic.max_in_flight;
+    ocfg.queue_depth = traffic.queue_depth;
+    ocfg.stop_at = sim::from_us(traffic.duration_us);
+    ocfg.request_timeout = sim::from_us(traffic.timeout_us);
+
+    auto dispatch = [&, si](sim::Time now, std::uint64_t id,
+                            workloads::OpenLoopSource::CompletionFn done) {
+      SourceState& src = *states[si];
+      const std::uint32_t li = src.target;
+      const std::uint32_t tenant = src.tenant_idx;
+      const std::uint64_t salt = (static_cast<std::uint64_t>(si) << 40) ^ id;
+      net.post_routed(
+          *pdes, now, src.borrower_net, lenders[li]->net_id, traffic.req_bytes,
+          sim::Priority::kBulk, salt,
+          [&, si, li, tenant, salt, done](const net::Delivery& d) {
+            // Lender domain.
+            LenderState& L = *lenders[li];
+            if (d.arrival >= L.dead_at) return;  // dead: borrower times out
+            if (L.qos != nullptr && !L.qos->try_admit(tenant, d.arrival)) {
+              // Credit exhaustion: a small refusal frame goes straight
+              // back; the request never reaches the service queue.
+              net.post_routed(
+                  *pdes, d.arrival, L.net_id, states[si]->borrower_net, 64,
+                  sim::Priority::kBulk, salt ^ 0x9e3779b97f4a7c15ULL,
+                  [done](const net::Delivery& r) {
+                    done(r.arrival, workloads::RequestOutcome::kRejected);
+                  });
+              return;
+            }
+            // Serial service queue: one request at a time at the lender's
+            // serving capacity.
+            const sim::Time begin = std::max(d.arrival, L.busy_until);
+            const sim::Time fin = begin + svc;
+            L.busy_until = fin;
+            ++L.served;
+            L.engine->schedule_at(fin, [&, si, li, salt, done, fin] {
+              LenderState& L2 = *lenders[li];
+              if (fin >= L2.dead_at) return;  // died while request was queued
+              net.post_routed(
+                  *pdes, fin, L2.net_id, states[si]->borrower_net,
+                  traffic.resp_bytes, sim::Priority::kBulk,
+                  salt ^ 0x5bd1e9955bd1e995ULL,
+                  [done](const net::Delivery& r) {
+                    done(r.arrival, workloads::RequestOutcome::kCompleted);
+                  });
+            });
+          });
+    };
+
+    st.source = std::make_unique<workloads::OpenLoopSource>(
+        cluster.borrower(st.borrower_idx).engine(), ocfg, dispatch);
+    st.source->set_observer([&, si](sim::Time arrival, sim::Time terminal,
+                                    workloads::RequestOutcome outcome) {
+      SourceState& src = *states[si];
+      switch (outcome) {
+        case workloads::RequestOutcome::kCompleted:
+          src.tracker.record_latency(terminal,
+                                     sim::to_us(terminal - arrival));
+          src.consecutive_failures = 0;
+          break;
+        case workloads::RequestOutcome::kFailed:
+          src.tracker.record_failed(terminal);
+          // Reactive re-placement: after enough consecutive timeouts the
+          // source walks its precomputed failover chain.  Purely local
+          // state, so the decision is deterministic under any worker count.
+          if (++src.consecutive_failures >= traffic.failover_threshold &&
+              !src.failover.empty()) {
+            src.target = src.failover.front();
+            src.failover.erase(src.failover.begin());
+            ++src.failovers;
+            src.consecutive_failures = 0;
+          }
+          break;
+        case workloads::RequestOutcome::kRejected:
+          src.tracker.record_rejected(terminal);
+          break;
+        case workloads::RequestOutcome::kShed:
+          src.tracker.record_shed(terminal);
+          break;
+      }
+    });
+    st.source->start();
+  }
+
+  pdes->run();
+
+  // --- Post-run aggregation (single thread, fixed order). -----------------
+  ServingReport report;
+  report.targets = targets;
+  TailTracker merged(slo_window);
+  std::ostringstream ser;
+  for (std::size_t si = 0; si < states.size(); ++si) {
+    const SourceState& st = *states[si];
+    const auto& c = st.source->counters();
+    report.totals.offered += c.offered;
+    report.totals.dispatched += c.dispatched;
+    report.totals.completed += c.completed;
+    report.totals.shed += c.shed;
+    report.totals.rejected += c.rejected;
+    report.totals.failed += c.failed;
+    report.totals.in_flight += c.in_flight;
+    report.totals.queued += c.queued;
+    report.failovers += st.failovers;
+    merged.merge(st.tracker);
+    ser << "source " << si << " tenant=" << tenants[st.tenant_idx].name
+        << " borrower=" << st.borrower_idx << " offered=" << c.offered
+        << " completed=" << c.completed << " shed=" << c.shed
+        << " rejected=" << c.rejected << " failed=" << c.failed
+        << " in_flight=" << c.in_flight << " queued=" << c.queued
+        << " target=" << st.target << " failovers=" << st.failovers << "\n";
+  }
+  for (std::uint32_t ti = 0; ti < tenants.size(); ++ti) {
+    ServingTenantReport tr;
+    tr.name = tenants[ti].name;
+    tr.weight = tenants[ti].weight;
+    tr.primary_lender = placements[ti].primary;
+    for (const auto& st : states) {
+      if (st->tenant_idx != ti) continue;
+      const auto& c = st->source->counters();
+      tr.totals.offered += c.offered;
+      tr.totals.dispatched += c.dispatched;
+      tr.totals.completed += c.completed;
+      tr.totals.shed += c.shed;
+      tr.totals.rejected += c.rejected;
+      tr.totals.failed += c.failed;
+      tr.totals.in_flight += c.in_flight;
+      tr.totals.queued += c.queued;
+      tr.failovers += st->failovers;
+    }
+    report.tenants.push_back(tr);
+  }
+
+  // Reconcile the registry with what the data plane did: when a tenant's
+  // sources abandoned a dead primary, re-book it at the chain target the
+  // first source settled on.
+  for (std::uint32_t ti = 0; ti < tenants.size(); ++ti) {
+    if (report.tenants[ti].failovers == 0) continue;
+    for (const auto& st : states) {
+      if (st->tenant_idx != ti || st->failovers == 0) continue;
+      const std::uint32_t new_registry_id =
+          cluster.registry_id(cluster.lender(st->target));
+      sctl.record_failover(tenant_specs[ti], placements[ti].primary,
+                           new_registry_id);
+      break;
+    }
+  }
+
+  report.windows = merged.windows(targets);
+  report.overall = merged.overall();
+  for (const auto& w : report.windows) {
+    if (w.met) ++report.windows_met;
+    ser << "window start_us=" << fmt_us(sim::to_us(w.start))
+        << " completed=" << w.completed << " failed=" << w.failed
+        << " shed=" << w.shed << " rejected=" << w.rejected
+        << " p50=" << fmt_us(w.p50_us) << " p99=" << fmt_us(w.p99_us)
+        << " p999=" << fmt_us(w.p999_us) << " met=" << (w.met ? 1 : 0)
+        << "\n";
+  }
+  report.balanced = report.totals.balanced();
+  ser << "totals offered=" << report.totals.offered
+      << " completed=" << report.totals.completed
+      << " shed=" << report.totals.shed
+      << " rejected=" << report.totals.rejected
+      << " failed=" << report.totals.failed
+      << " in_flight=" << report.totals.in_flight
+      << " queued=" << report.totals.queued
+      << " failovers=" << report.failovers
+      << " balanced=" << (report.balanced ? 1 : 0) << "\n";
+  report.serialized = ser.str();
+  report.digest = fnv1a(report.serialized);
+  return report;
+}
+
+}  // namespace tfsim::core

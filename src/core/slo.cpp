@@ -1,0 +1,65 @@
+#include "core/slo.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::core {
+
+TailTracker::TailTracker(sim::Time window) : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("TailTracker: window must be > 0");
+  }
+}
+
+TailTracker::Window& TailTracker::at(sim::Time t) {
+  return windows_[t / window_];
+}
+
+void TailTracker::record_latency(sim::Time t, double latency_us) {
+  at(t).hist.add(latency_us);
+  overall_.add(latency_us);
+}
+
+void TailTracker::record_failed(sim::Time t) { ++at(t).failed; }
+void TailTracker::record_shed(sim::Time t) { ++at(t).shed; }
+void TailTracker::record_rejected(sim::Time t) { ++at(t).rejected; }
+
+void TailTracker::merge(const TailTracker& other) {
+  if (other.window_ != window_) {
+    throw std::invalid_argument("TailTracker: merging mismatched windows");
+  }
+  for (const auto& [idx, w] : other.windows_) {
+    Window& mine = windows_[idx];
+    mine.hist.merge(w.hist);
+    mine.failed += w.failed;
+    mine.shed += w.shed;
+    mine.rejected += w.rejected;
+  }
+  overall_.merge(other.overall_);
+}
+
+std::vector<WindowStats> TailTracker::windows(const SloTargets& targets) const {
+  std::vector<WindowStats> out;
+  out.reserve(windows_.size());
+  for (const auto& [idx, w] : windows_) {
+    WindowStats s;
+    s.start = idx * window_;
+    s.completed = w.hist.count();
+    s.failed = w.failed;
+    s.shed = w.shed;
+    s.rejected = w.rejected;
+    s.p50_us = w.hist.p50();
+    s.p99_us = w.hist.p99();
+    s.p999_us = w.hist.p999();
+    const auto within = [](double value, double target) {
+      return target <= 0.0 || value <= target;
+    };
+    s.met = s.completed > 0 && s.failed == 0 &&
+            within(s.p50_us, targets.p50_us) &&
+            within(s.p99_us, targets.p99_us) &&
+            within(s.p999_us, targets.p999_us);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tfsim::core

@@ -1,0 +1,77 @@
+// Per-request tail tracking against declared SLO targets.
+//
+// The serving layer needs more than end-of-run aggregates: SLO compliance
+// is judged per time window (does p99 stay under target *through* the
+// diurnal peak and the lender kill?), so the tracker keeps one histogram
+// per fixed-length window of simulated time plus an overall histogram.
+// Under PDES each borrower domain owns a private tracker; merge() folds
+// them post-run in fixed index order, keeping every reported number
+// byte-identical across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace tfsim::core {
+
+/// Declared targets; 0 leaves a percentile unconstrained.
+struct SloTargets {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+/// One compliance window of the serving time-series.
+struct WindowStats {
+  sim::Time start = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;    ///< timeouts (lost frames, dead lender)
+  std::uint64_t shed = 0;      ///< dropped at the borrower's full queue
+  std::uint64_t rejected = 0;  ///< refused by lender QoS credits
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  /// Every constrained percentile within target, nothing failed, and at
+  /// least one request completed.
+  bool met = false;
+};
+
+class TailTracker {
+ public:
+  explicit TailTracker(sim::Time window);
+
+  /// A request completed at `t` after `latency_us` of lifecycle time
+  /// (arrival -> response), attributed to the window containing t.
+  void record_latency(sim::Time t, double latency_us);
+  void record_failed(sim::Time t);
+  void record_shed(sim::Time t);
+  void record_rejected(sim::Time t);
+
+  /// Fold another tracker (same window length) into this one.
+  void merge(const TailTracker& other);
+
+  /// The windowed time-series scored against `targets`, in time order.
+  std::vector<WindowStats> windows(const SloTargets& targets) const;
+
+  const sim::Histogram& overall() const { return overall_; }
+  sim::Time window() const { return window_; }
+
+ private:
+  struct Window {
+    sim::Histogram hist;
+    std::uint64_t failed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+  };
+  Window& at(sim::Time t);
+
+  sim::Time window_;
+  std::map<std::uint64_t, Window> windows_;  // ordered: deterministic
+  sim::Histogram overall_;
+};
+
+}  // namespace tfsim::core

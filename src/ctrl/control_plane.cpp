@@ -88,6 +88,60 @@ bool ControlPlane::release(std::uint64_t reservation_id,
   return true;
 }
 
+std::optional<std::uint32_t> ControlPlane::migrate(std::uint64_t reservation_id,
+                                                   std::uint32_t exclude,
+                                                   nic::DisaggNic* borrower_nic,
+                                                   mem::MemoryMap* borrower_map) {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [&](const Reservation& r) { return r.id == reservation_id; });
+  if (it == reservations_.end()) return std::nullopt;
+
+  const auto candidates =
+      registry_.lender_candidates(it->size, cfg_.lender_safety_margin);
+  std::vector<std::uint32_t> filtered;
+  std::copy_if(candidates.begin(), candidates.end(),
+               std::back_inserter(filtered), [&](std::uint32_t id) {
+                 return id != it->borrower && id != exclude && id != it->lender;
+               });
+  const auto lender = policy_->pick(registry_, it->borrower, it->size, filtered);
+  if (!lender.has_value()) {
+    TFSIM_LOG(Info) << "migrate(" << it->name << "): no surviving lender";
+    return std::nullopt;
+  }
+
+  NodeInfo& old_ln = registry_.node(it->lender);
+  old_ln.lent_out -= std::min(old_ln.lent_out, it->size);
+  NodeInfo& new_ln = registry_.node(*lender);
+  it->lender_base = new_ln.lent_out;
+  new_ln.lent_out += it->size;
+  const std::uint32_t old_lender = it->lender;
+  it->lender = *lender;
+
+  if (it->attached && borrower_nic != nullptr) {
+    // Recover the borrower physical base from the installed segment so the
+    // replacement lands at the same address.
+    mem::Range borrower_range{};
+    for (const auto& seg : borrower_nic->translator().segments()) {
+      if (seg.name == it->name) {
+        borrower_range = seg.borrower;
+        break;
+      }
+    }
+    borrower_nic->translator().remove_segment(it->name);
+    borrower_nic->translator().add_segment(nic::Segment{
+        borrower_range, it->lender_base, it->lender, it->name});
+    if (borrower_map != nullptr) {
+      borrower_map->remove_region(it->name);
+      borrower_map->add_region(mem::Region{borrower_range,
+                                           mem::Backing::kRemoteDram,
+                                           it->lender, it->name});
+    }
+  }
+  TFSIM_LOG(Info) << "migrate(" << it->name << "): lender " << old_lender
+                  << " -> " << it->lender;
+  return it->lender;
+}
+
 const Reservation* ControlPlane::find(std::uint64_t reservation_id) const {
   const auto it =
       std::find_if(reservations_.begin(), reservations_.end(),

@@ -56,6 +56,18 @@ class ControlPlane {
   bool release(std::uint64_t reservation_id, nic::DisaggNic* borrower_nic,
                mem::MemoryMap* borrower_map);
 
+  /// Reactive re-placement after a lender died (kill_lender or a degraded
+  /// link declared it unreachable): re-books the reservation at a
+  /// policy-chosen surviving lender (never `exclude`), and — when attached
+  /// — atomically retargets the borrower NIC's translation segment and the
+  /// memory-map region to the new lender at the *same* borrower physical
+  /// base, so in-flight application pointers stay valid.  Returns the new
+  /// lender id, nullopt when no survivor has room.
+  std::optional<std::uint32_t> migrate(std::uint64_t reservation_id,
+                                       std::uint32_t exclude,
+                                       nic::DisaggNic* borrower_nic,
+                                       mem::MemoryMap* borrower_map);
+
   const std::vector<Reservation>& reservations() const { return reservations_; }
   const Reservation* find(std::uint64_t reservation_id) const;
   const AllocationPolicy& policy() const { return *policy_; }

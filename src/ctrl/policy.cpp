@@ -54,11 +54,35 @@ std::optional<std::uint32_t> ContentionAwarePolicy::pick(
       });
 }
 
+std::optional<std::uint32_t> SloAwarePolicy::pick(
+    const NodeRegistry& registry, std::uint32_t /*borrower*/,
+    std::uint64_t /*size*/, const std::vector<std::uint32_t>& candidates) {
+  std::optional<std::uint32_t> best;
+  double best_score = 0.0;
+  for (auto id : candidates) {
+    const NodeInfo& n = registry.node(id);
+    const double u = std::min(n.memory_bus_utilization, bus_cap_);
+    const double lent_fraction =
+        n.total_memory
+            ? static_cast<double>(n.lent_out) / static_cast<double>(n.total_memory)
+            : 0.0;
+    const double score = (1.0 + lent_fraction) / (1.0 - u);
+    // Strict < keeps the first (lowest-id) node on ties: candidates arrive
+    // in id order from the registry, so placement is deterministic.
+    if (!best.has_value() || score < best_score) {
+      best = id;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
 std::unique_ptr<AllocationPolicy> make_policy(const std::string& name) {
   if (name == "first-fit") return std::make_unique<FirstFitPolicy>();
   if (name == "most-free") return std::make_unique<MostFreePolicy>();
   if (name == "idle-preferring") return std::make_unique<IdlePreferringPolicy>();
   if (name == "contention-aware") return std::make_unique<ContentionAwarePolicy>();
+  if (name == "slo-aware") return std::make_unique<SloAwarePolicy>();
   throw std::invalid_argument("unknown allocation policy: " + name);
 }
 

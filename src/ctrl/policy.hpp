@@ -82,6 +82,26 @@ class ContentionAwarePolicy final : public AllocationPolicy {
   std::uint64_t safety_margin_;
 };
 
+/// SLO-aware placement for the serving layer: minimizes a tail-latency
+/// proxy instead of maximizing free capacity.  The proxy combines the
+/// lender's memory-bus utilization (an M/M/1-style 1/(1-u) queueing
+/// amplification — the only lender-side signal the paper found to matter)
+/// with its lent-out fraction (fan-in: more borrowers sharing the lender's
+/// NIC means more cross-traffic on its egress).  Ties break to the lowest
+/// node id so placement is deterministic.
+class SloAwarePolicy final : public AllocationPolicy {
+ public:
+  explicit SloAwarePolicy(double bus_utilization_cap = 0.95)
+      : bus_cap_(bus_utilization_cap) {}
+  std::optional<std::uint32_t> pick(
+      const NodeRegistry& registry, std::uint32_t borrower, std::uint64_t size,
+      const std::vector<std::uint32_t>& candidates) override;
+  std::string name() const override { return "slo-aware"; }
+
+ private:
+  double bus_cap_;
+};
+
 std::unique_ptr<AllocationPolicy> make_policy(const std::string& name);
 
 }  // namespace tfsim::ctrl

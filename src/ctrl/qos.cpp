@@ -1,0 +1,64 @@
+#include "ctrl/qos.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::ctrl {
+
+CreditQos::CreditQos(QosConfig cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) {
+    throw std::invalid_argument("CreditQos: window must be > 0");
+  }
+}
+
+std::uint32_t CreditQos::add_tenant(const std::string& name,
+                                    std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("CreditQos: tenant weight must be >= 1");
+  }
+  TenantStats t;
+  t.name = name;
+  t.weight = weight;
+  stats_.push_back(t);
+  credits_.push_back(0);
+  // Force a refill so the new tenant shares the very next window cleanly.
+  next_window_ = 0;
+  for (auto& c : credits_) c = 0;
+  return static_cast<std::uint32_t>(stats_.size() - 1);
+}
+
+void CreditQos::refill(sim::Time now) {
+  const std::uint64_t w = now / cfg_.window;
+  if (w < next_window_) return;
+  // Credits do not roll over: each window is a fresh weighted share, so a
+  // tenant idle in one window cannot starve the others later.
+  std::uint64_t weight_sum = 0;
+  for (const auto& t : stats_) weight_sum += t.weight;
+  if (weight_sum == 0) return;
+  std::uint64_t handed = 0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    credits_[i] = cfg_.capacity_per_window * stats_[i].weight / weight_sum;
+    handed += credits_[i];
+  }
+  // Deterministic remainder distribution: one extra credit each, in tenant
+  // index order, until the window capacity is fully handed out.
+  std::uint64_t leftover = cfg_.capacity_per_window - handed;
+  for (std::size_t i = 0; leftover > 0 && i < credits_.size(); ++i) {
+    ++credits_[i];
+    --leftover;
+  }
+  next_window_ = w + 1;
+}
+
+bool CreditQos::try_admit(std::uint32_t tenant, sim::Time now) {
+  refill(now);
+  auto& t = stats_.at(tenant);
+  if (credits_.at(tenant) == 0) {
+    ++t.rejected;
+    return false;
+  }
+  --credits_[tenant];
+  ++t.admitted;
+  return true;
+}
+
+}  // namespace tfsim::ctrl

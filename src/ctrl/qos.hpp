@@ -1,0 +1,62 @@
+// Credit-based QoS arbitration between tenants sharing a lender.
+//
+// A lender has a finite serving capacity (requests per refill window).  Each
+// tenant is assigned an integer weight; every window the capacity is divided
+// into per-tenant credits proportional to weight, and a request is admitted
+// only if its tenant still holds a credit.  Under saturation each tenant
+// therefore completes work in proportion to its weight — the property the
+// QoS tests pin at ±5%.
+//
+// Determinism contract: refills happen lazily at try_admit() time on exact
+// integer window boundaries, so the admit/reject sequence is a pure function
+// of the (tenant, time) call sequence — no periodic events, no wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace tfsim::ctrl {
+
+struct QosConfig {
+  sim::Time window = sim::from_us(100.0);  ///< credit refill period
+  std::uint64_t capacity_per_window = 0;   ///< admitted requests per window
+};
+
+class CreditQos {
+ public:
+  explicit CreditQos(QosConfig cfg);
+
+  struct TenantStats {
+    std::string name;
+    std::uint32_t weight = 1;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  /// Register a tenant; returns its index.  Weights are fixed at
+  /// registration (integer, >= 1).
+  std::uint32_t add_tenant(const std::string& name, std::uint32_t weight);
+
+  /// Admit one request for `tenant` at simulated time `now`.  False means
+  /// the tenant's credits for the current window are exhausted; the caller
+  /// must refuse the request (it never reaches the lender's DRAM).
+  bool try_admit(std::uint32_t tenant, sim::Time now);
+
+  const std::vector<TenantStats>& tenants() const { return stats_; }
+  std::uint64_t credits(std::uint32_t tenant) const {
+    return credits_.at(tenant);
+  }
+
+ private:
+  void refill(sim::Time now);
+
+  QosConfig cfg_;
+  std::vector<TenantStats> stats_;
+  std::vector<std::uint64_t> credits_;
+  std::uint64_t next_window_ = 0;  ///< first window index not yet refilled
+};
+
+}  // namespace tfsim::ctrl

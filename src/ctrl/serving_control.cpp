@@ -1,0 +1,112 @@
+#include "ctrl/serving_control.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace tfsim::ctrl {
+
+bool AdmissionController::can_admit(const NodeRegistry& registry,
+                                    std::uint32_t lender, double rate_rps,
+                                    std::uint64_t bytes) const {
+  const NodeInfo& n = registry.node(lender);
+  if (n.role == Role::kBorrower) return false;
+  if (n.lendable(cfg_.lender_safety_margin) < bytes) return false;
+  return committed_rps(lender) + rate_rps <= cfg_.lender_capacity_rps;
+}
+
+void AdmissionController::commit(std::uint32_t lender, double rate_rps) {
+  committed_[lender] += rate_rps;
+}
+
+void AdmissionController::rescind(std::uint32_t lender) {
+  committed_.erase(lender);
+}
+
+double AdmissionController::committed_rps(std::uint32_t lender) const {
+  const auto it = committed_.find(lender);
+  return it == committed_.end() ? 0.0 : it->second;
+}
+
+double AdmissionController::headroom_rps(std::uint32_t lender) const {
+  return std::max(0.0, cfg_.lender_capacity_rps - committed_rps(lender));
+}
+
+// ---------------------------------------------------------------------------
+
+ServingController::ServingController(NodeRegistry& registry,
+                                     std::unique_ptr<AllocationPolicy> policy,
+                                     ServingConfig cfg)
+    : registry_(registry),
+      policy_(std::move(policy)),
+      cfg_(cfg),
+      admission_(cfg.admission) {
+  if (!policy_) throw std::invalid_argument("ServingController: null policy");
+}
+
+std::vector<std::uint32_t> ServingController::ranked_candidates(
+    const TenantSpec& spec, std::uint32_t borrower,
+    const std::vector<std::uint32_t>& exclude) {
+  std::vector<std::uint32_t> pool;
+  for (auto id : registry_.lender_candidates(
+           spec.bytes, admission_.config().lender_safety_margin)) {
+    if (id == borrower) continue;
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end())
+      continue;
+    if (!admission_.can_admit(registry_, id, spec.rate_rps, spec.bytes))
+      continue;
+    pool.push_back(id);
+  }
+  // Rank by repeatedly asking the policy for its best pick and removing it:
+  // the same ordering logic the primary placement used, so a failover
+  // target is exactly "where the tenant would have been placed next".
+  std::vector<std::uint32_t> ranked;
+  while (!pool.empty()) {
+    const auto pick = policy_->pick(registry_, borrower, spec.bytes, pool);
+    if (!pick.has_value()) break;
+    ranked.push_back(*pick);
+    pool.erase(std::remove(pool.begin(), pool.end(), *pick), pool.end());
+  }
+  return ranked;
+}
+
+std::optional<Placement> ServingController::admit_tenant(
+    const TenantSpec& spec, std::uint32_t borrower) {
+  const auto ranked = ranked_candidates(spec, borrower, {});
+  if (ranked.empty()) {
+    TFSIM_LOG(Info) << "admit_tenant(" << spec.name
+                    << "): rejected, no lender with credit headroom";
+    return std::nullopt;
+  }
+  Placement p;
+  p.tenant = spec.name;
+  p.primary = ranked.front();
+  const std::size_t depth =
+      std::min<std::size_t>(cfg_.failover_depth, ranked.size() - 1);
+  p.failover.assign(ranked.begin() + 1, ranked.begin() + 1 + depth);
+  admission_.commit(p.primary, spec.rate_rps);
+  registry_.node(p.primary).lent_out += spec.bytes;
+  placements_.push_back(p);
+  return p;
+}
+
+void ServingController::record_failover(const TenantSpec& spec,
+                                        std::uint32_t dead,
+                                        std::uint32_t replacement) {
+  admission_.rescind(dead);
+  admission_.commit(replacement, spec.rate_rps);
+  NodeInfo& dn = registry_.node(dead);
+  dn.lent_out -= std::min<std::uint64_t>(dn.lent_out, spec.bytes);
+  registry_.node(replacement).lent_out += spec.bytes;
+  for (auto& p : placements_) {
+    if (p.tenant == spec.name && p.primary == dead) {
+      p.primary = replacement;
+      p.failover.erase(
+          std::remove(p.failover.begin(), p.failover.end(), replacement),
+          p.failover.end());
+    }
+  }
+}
+
+}  // namespace tfsim::ctrl

@@ -204,6 +204,134 @@ Json dump_faults(const FaultSpec& f) {
   return obj;
 }
 
+TrafficSpec parse_traffic(const Json& obj) {
+  check_keys(obj, "traffic",
+             {"process", "rate_rps", "clients", "seed", "max_in_flight",
+              "queue_depth", "duration_us", "timeout_us", "req_bytes",
+              "resp_bytes", "burst_on_us", "burst_off_us",
+              "diurnal_period_us", "diurnal_amplitude", "lender_capacity_rps",
+              "qos_window_us", "tenant_gib", "failover_threshold", "tenants"});
+  TrafficSpec t;
+  t.process = get_string(obj, "process", "");
+  if (!t.process.empty() && t.process != "poisson" && t.process != "bursty" &&
+      t.process != "diurnal") {
+    throw JsonError("scenario: unknown traffic process \"" + t.process + "\"");
+  }
+  t.rate_rps = get_double(obj, "rate_rps", t.rate_rps);
+  t.clients = get_uint(obj, "clients", t.clients);
+  t.seed = get_uint(obj, "seed", t.seed);
+  t.max_in_flight =
+      static_cast<std::uint32_t>(get_uint(obj, "max_in_flight", t.max_in_flight));
+  t.queue_depth =
+      static_cast<std::uint32_t>(get_uint(obj, "queue_depth", t.queue_depth));
+  t.duration_us = get_double(obj, "duration_us", t.duration_us);
+  t.timeout_us = get_double(obj, "timeout_us", t.timeout_us);
+  t.req_bytes = get_uint(obj, "req_bytes", t.req_bytes);
+  t.resp_bytes = get_uint(obj, "resp_bytes", t.resp_bytes);
+  t.burst_on_us = get_double(obj, "burst_on_us", t.burst_on_us);
+  t.burst_off_us = get_double(obj, "burst_off_us", t.burst_off_us);
+  t.diurnal_period_us =
+      get_double(obj, "diurnal_period_us", t.diurnal_period_us);
+  t.diurnal_amplitude =
+      get_double(obj, "diurnal_amplitude", t.diurnal_amplitude);
+  t.lender_capacity_rps =
+      get_double(obj, "lender_capacity_rps", t.lender_capacity_rps);
+  t.qos_window_us = get_double(obj, "qos_window_us", t.qos_window_us);
+  t.tenant_gib = get_double(obj, "tenant_gib", t.tenant_gib);
+  t.failover_threshold = static_cast<std::uint32_t>(
+      get_uint(obj, "failover_threshold", t.failover_threshold));
+  if (t.enabled()) {
+    if (t.rate_rps <= 0.0) {
+      throw JsonError("scenario: traffic rate_rps must be > 0");
+    }
+    if (t.duration_us <= 0.0) {
+      throw JsonError("scenario: traffic duration_us must be > 0");
+    }
+    if (t.max_in_flight == 0) {
+      throw JsonError("scenario: traffic max_in_flight must be >= 1");
+    }
+    if (t.diurnal_amplitude < 0.0 || t.diurnal_amplitude > 1.0) {
+      throw JsonError("scenario: traffic diurnal_amplitude must be in [0,1]");
+    }
+  }
+  if (const Json* tenants = obj.find("tenants")) {
+    for (const auto& te : tenants->items()) {
+      check_keys(te, "tenant", {"name", "weight", "rate_share"});
+      TrafficTenantSpec spec;
+      spec.name = get_string(te, "name", spec.name);
+      spec.weight =
+          static_cast<std::uint32_t>(get_uint(te, "weight", spec.weight));
+      if (spec.weight == 0) {
+        throw JsonError("scenario: tenant weight must be >= 1");
+      }
+      spec.rate_share = get_double(te, "rate_share", spec.rate_share);
+      if (spec.rate_share <= 0.0) {
+        throw JsonError("scenario: tenant rate_share must be > 0");
+      }
+      t.tenants.push_back(std::move(spec));
+    }
+  }
+  return t;
+}
+
+Json dump_traffic(const TrafficSpec& t) {
+  Json obj = Json::object();
+  obj.set("process", Json::string(t.process));
+  obj.set("rate_rps", Json::number(t.rate_rps));
+  obj.set("clients", Json::number(t.clients));
+  obj.set("seed", Json::number(t.seed));
+  obj.set("max_in_flight", Json::number(std::uint64_t{t.max_in_flight}));
+  obj.set("queue_depth", Json::number(std::uint64_t{t.queue_depth}));
+  obj.set("duration_us", Json::number(t.duration_us));
+  obj.set("timeout_us", Json::number(t.timeout_us));
+  obj.set("req_bytes", Json::number(t.req_bytes));
+  obj.set("resp_bytes", Json::number(t.resp_bytes));
+  obj.set("burst_on_us", Json::number(t.burst_on_us));
+  obj.set("burst_off_us", Json::number(t.burst_off_us));
+  obj.set("diurnal_period_us", Json::number(t.diurnal_period_us));
+  obj.set("diurnal_amplitude", Json::number(t.diurnal_amplitude));
+  obj.set("lender_capacity_rps", Json::number(t.lender_capacity_rps));
+  obj.set("qos_window_us", Json::number(t.qos_window_us));
+  obj.set("tenant_gib", Json::number(t.tenant_gib));
+  obj.set("failover_threshold",
+          Json::number(std::uint64_t{t.failover_threshold}));
+  Json tenants = Json::array();
+  for (const auto& te : t.tenants) {
+    Json tn = Json::object();
+    tn.set("name", Json::string(te.name));
+    tn.set("weight", Json::number(std::uint64_t{te.weight}));
+    tn.set("rate_share", Json::number(te.rate_share));
+    tenants.push(std::move(tn));
+  }
+  obj.set("tenants", std::move(tenants));
+  return obj;
+}
+
+SloSpec parse_slo(const Json& obj) {
+  check_keys(obj, "slo", {"p50_us", "p99_us", "p999_us", "window_us"});
+  SloSpec s;
+  s.p50_us = get_double(obj, "p50_us", s.p50_us);
+  s.p99_us = get_double(obj, "p99_us", s.p99_us);
+  s.p999_us = get_double(obj, "p999_us", s.p999_us);
+  s.window_us = get_double(obj, "window_us", s.window_us);
+  if (s.p50_us < 0.0 || s.p99_us < 0.0 || s.p999_us < 0.0) {
+    throw JsonError("scenario: slo targets must be >= 0");
+  }
+  if (s.window_us <= 0.0) {
+    throw JsonError("scenario: slo window_us must be > 0");
+  }
+  return s;
+}
+
+Json dump_slo(const SloSpec& s) {
+  Json obj = Json::object();
+  obj.set("p50_us", Json::number(s.p50_us));
+  obj.set("p99_us", Json::number(s.p99_us));
+  obj.set("p999_us", Json::number(s.p999_us));
+  obj.set("window_us", Json::number(s.window_us));
+  return obj;
+}
+
 Json dump_link(const net::LinkConfig& cfg) {
   Json link = Json::object();
   link.set("bandwidth_gbit", Json::number(cfg.bandwidth.gbit_per_sec()));
@@ -281,7 +409,8 @@ void ScenarioSpec::set_borrower_count(std::uint32_t count) {
 ScenarioSpec from_json(const Json& doc) {
   check_keys(doc, "scenario",
              {"name", "description", "nodes", "topology", "injector", "policy",
-              "reservations", "workloads", "faults", "pdes", "sweep"});
+              "reservations", "workloads", "faults", "traffic", "slo", "pdes",
+              "sweep"});
   ScenarioSpec spec;
   spec.name = get_string(doc, "name", spec.name);
   spec.description = get_string(doc, "description", "");
@@ -356,6 +485,8 @@ ScenarioSpec from_json(const Json& doc) {
   }
 
   if (const Json* f = doc.find("faults")) spec.faults = parse_faults(*f);
+  if (const Json* t = doc.find("traffic")) spec.traffic = parse_traffic(*t);
+  if (const Json* s = doc.find("slo")) spec.slo = parse_slo(*s);
 
   if (const Json* p = doc.find("pdes")) {
     check_keys(*p, "pdes", {"threads", "lookahead_ns"});
@@ -459,6 +590,8 @@ Json to_json(const ScenarioSpec& spec) {
   doc.set("workloads", std::move(ws));
 
   doc.set("faults", dump_faults(spec.faults));
+  doc.set("traffic", dump_traffic(spec.traffic));
+  doc.set("slo", dump_slo(spec.slo));
 
   Json pdes = Json::object();
   pdes.set("threads", Json::number(std::uint64_t{spec.pdes.threads}));
@@ -589,11 +722,61 @@ ScenarioSpec leafspine_rack(std::uint32_t borrowers) {
   return spec;
 }
 
+ScenarioSpec serving_diurnal() {
+  ScenarioSpec spec;
+  spec.name = "serving-diurnal";
+  spec.description =
+      "Redis-style serving tier on the 8x4 leaf/spine rack: two tenants "
+      "(3:1 QoS weights) offer a diurnal open-loop load against p50/p99/p999 "
+      "SLOs; lender0 is killed at mid-cycle, forcing both tenants onto the "
+      "survivor where credit-based QoS arbitrates the crunch";
+  NodeDecl borrower;
+  borrower.name = "borrower";
+  borrower.role = Role::kBorrower;
+  borrower.with_nic = true;
+  borrower.count = 8;
+  NodeDecl lender;
+  lender.name = "lender";
+  lender.role = Role::kLender;
+  lender.with_nic = false;
+  lender.count = 2;
+  spec.nodes = {borrower, lender};
+  spec.topology.kind = TopologyKind::kLeafSpine;
+  spec.topology.leaves = 8;
+  spec.topology.spines = 4;
+  spec.policy = "slo-aware";
+  spec.workloads.push_back(WorkloadSpec{"openloop", "remote"});
+  spec.pdes.threads = 8;
+
+  spec.traffic.process = "diurnal";
+  spec.traffic.rate_rps = 1.2e6;
+  spec.traffic.clients = 2'000'000;
+  spec.traffic.seed = 20260808;
+  spec.traffic.duration_us = 20'000.0;   // one diurnal cycle
+  spec.traffic.diurnal_period_us = 20'000.0;
+  spec.traffic.diurnal_amplitude = 0.6;
+  spec.traffic.timeout_us = 200.0;
+  spec.traffic.lender_capacity_rps = 1.5e6;
+  spec.traffic.qos_window_us = 100.0;
+  spec.traffic.tenants.push_back(TrafficTenantSpec{"frontend", 3, 0.75});
+  spec.traffic.tenants.push_back(TrafficTenantSpec{"batch", 1, 0.25});
+
+  spec.slo.p50_us = 10.0;
+  spec.slo.p99_us = 40.0;
+  spec.slo.p999_us = 120.0;
+  spec.slo.window_us = 1000.0;
+
+  spec.faults.kill_lender = "lender0";
+  spec.faults.kill_at_us = 10'000.0;  // the diurnal peak
+  return spec;
+}
+
 std::optional<ScenarioSpec> builtin(const std::string& name) {
   if (name == "paper_twonode") return paper_two_node();
   if (name == "pooling_1xN") return pooling_1xN();
   if (name == "trunk_contention") return shared_trunk();
   if (name == "leafspine_rack128") return leafspine_rack();
+  if (name == "serving_diurnal") return serving_diurnal();
   return std::nullopt;
 }
 

@@ -119,6 +119,55 @@ struct WorkloadSpec {
   std::string placement = "remote";  ///< local | remote | auto
 };
 
+/// One tenant in the serving traffic mix: a named slice of the aggregate
+/// offered rate with a QoS weight (ctrl/qos.hpp credits at the lender).
+struct TrafficTenantSpec {
+  std::string name = "default";
+  std::uint32_t weight = 1;
+  double rate_share = 1.0;  ///< fraction of traffic.rate_rps this tenant offers
+};
+
+/// Open-loop serving traffic (workloads/openloop): arrivals occur at the
+/// configured rate regardless of service progress, split evenly over the
+/// borrower nodes and across tenants by rate_share.  Disabled when
+/// `process` is empty.
+struct TrafficSpec {
+  std::string process;           ///< "" | "poisson" | "bursty" | "diurnal"
+  double rate_rps = 0.0;         ///< aggregate offered rate, requests/sec
+  std::uint64_t clients = 0;     ///< modeled client population (reporting)
+  std::uint64_t seed = 1;        ///< per-source streams are split off this
+  std::uint32_t max_in_flight = 64;   ///< dispatch window per source
+  std::uint32_t queue_depth = 128;    ///< waiting room per source
+  double duration_us = 0.0;      ///< arrival horizon (one diurnal cycle)
+  double timeout_us = 200.0;     ///< per-request timeout (0 = wait forever)
+  std::uint64_t req_bytes = 128;     ///< wire size of a request frame
+  std::uint64_t resp_bytes = 1024;   ///< wire size of a response frame
+  double burst_on_us = 100.0;    ///< bursty: on-phase length
+  double burst_off_us = 300.0;   ///< bursty: off-phase length
+  double diurnal_period_us = 10'000.0;  ///< diurnal: one simulated "day"
+  double diurnal_amplitude = 0.8;       ///< diurnal: rate swing in [0,1]
+  /// Lender service capacity, requests/sec; 0 = uncapped (no QoS gate, no
+  /// service queueing — responses leave as fast as frames arrive).
+  double lender_capacity_rps = 0.0;
+  double qos_window_us = 100.0;  ///< QoS credit refill window
+  double tenant_gib = 1.0;       ///< bytes booked per tenant at its lender
+  /// Consecutive timeouts before a source retargets its next failover
+  /// lender (reactive re-placement along the precomputed chain).
+  std::uint32_t failover_threshold = 4;
+  std::vector<TrafficTenantSpec> tenants;  ///< empty = one default tenant
+
+  bool enabled() const { return !process.empty(); }
+};
+
+/// Declared SLO targets the tail tracker (core/slo.hpp) scores windows
+/// against.  A target of 0 leaves that percentile unconstrained.
+struct SloSpec {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double window_us = 1000.0;  ///< compliance-scoring window length
+};
+
 /// Intra-run parallelism (sim/pdes.hpp): partition the engine into one
 /// calendar per node and run barrier windows on `threads` workers.  The
 /// TFSIM_PDES env var overrides the scenario at build time ("off" forces
@@ -151,6 +200,8 @@ struct ScenarioSpec {
   std::vector<ReservationSpec> reservations;
   std::vector<WorkloadSpec> workloads;
   FaultSpec faults;
+  TrafficSpec traffic;
+  SloSpec slo;
   PdesSpec pdes;
   SweepSpec sweep;
 
@@ -191,6 +242,10 @@ ScenarioSpec shared_trunk(std::uint32_t borrowers = 4);
 /// fabric (8 leaves x 4 spines at the default 128 pairs); partners land on
 /// different leaves so every access crosses a spine.
 ScenarioSpec leafspine_rack(std::uint32_t borrowers = 128);
+/// Redis-style serving tier on the 8x4 rack: two tenants (3:1 QoS weights)
+/// offering a diurnal open-loop load against declared p50/p99/p999 SLOs,
+/// with a lender killed mid-cycle to exercise reactive re-placement.
+ScenarioSpec serving_diurnal();
 
 /// Look up a built-in by its scenario file stem ("paper_twonode",
 /// "pooling_1xN", "trunk_contention", "leafspine_rack128"); nullopt when

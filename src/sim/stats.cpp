@@ -128,13 +128,28 @@ double Histogram::mean() const {
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total_)));
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
-    if (seen >= rank && buckets_[i] > 0) {
-      return std::clamp(bucket_midpoint(i), raw_min_, raw_max_);
+    if (seen >= rank) {
+      // Interpolate within the bucket instead of returning its midpoint:
+      // with log2 buckets a midpoint answer can misreport sparse tail
+      // quantiles (p999) by up to the bucket width.  Model the in-bucket
+      // samples as uniform and place the k-th of c at (k - 0.5)/c of the
+      // bucket span.
+      const auto octave = static_cast<int>(i >> kSubBucketBits) - kNegOctaves;
+      const auto sub = i & ((1u << kSubBucketBits) - 1);
+      const double base = std::ldexp(1.0, octave);
+      const double width = base / (1u << kSubBucketBits);
+      const double lower = base + static_cast<double>(sub) * width;
+      const std::uint64_t before = seen - buckets_[i];
+      const double pos_in_bucket =
+          (static_cast<double>(rank - before) - 0.5) /
+          static_cast<double>(buckets_[i]);
+      return std::clamp(lower + pos_in_bucket * width, raw_min_, raw_max_);
     }
   }
   return raw_max_;

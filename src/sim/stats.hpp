@@ -53,11 +53,14 @@ class Histogram {
   double max() const;
   double mean() const;
 
-  /// q in [0, 1]; returns a representative value of the bucket containing
-  /// the q-quantile.  0 if empty.
+  /// q in [0, 1]; locates the bucket containing the q-quantile and linearly
+  /// interpolates within it (values assumed uniform across the bucket), so
+  /// tail quantiles are not snapped to bucket midpoints.  Clamped to the
+  /// observed [min, max].  0 if empty.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
   /// Human-readable summary "n=... mean=... p50=... p99=... max=...".
   std::string summary() const;

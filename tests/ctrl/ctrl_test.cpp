@@ -86,7 +86,8 @@ TEST(PolicyTest, ContentionAwareIgnoresAppCountButCapsBusUtilization) {
 
 TEST(PolicyTest, FactoryKnowsAllNames) {
   for (const char* name :
-       {"first-fit", "most-free", "idle-preferring", "contention-aware"}) {
+       {"first-fit", "most-free", "idle-preferring", "contention-aware",
+        "slo-aware"}) {
     EXPECT_EQ(make_policy(name)->name(), name);
   }
   EXPECT_THROW(make_policy("round-robin"), std::invalid_argument);

@@ -233,6 +233,57 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0.0);
 }
 
+// --- intra-bucket interpolation regressions ------------------------------
+// quantile() interpolates linearly inside the containing bucket and clamps
+// to the observed [min, max], so degenerate histograms are exact and dense
+// ones land within ~2% instead of the raw ~5% bucket-boundary error.
+
+TEST(HistogramInterpolationTest, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.5);
+  EXPECT_DOUBLE_EQ(h.p99(), 7.5);
+  EXPECT_DOUBLE_EQ(h.p999(), 7.5);
+}
+
+TEST(HistogramInterpolationTest, RepeatedValueQuantilesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 42.0);
+}
+
+TEST(HistogramInterpolationTest, UniformGridTailsPinnedTo2Percent) {
+  // 1..1000, one sample each: exact p50 = 500, p99 = 990, p999 = 999.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.02);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.02);
+  EXPECT_NEAR(h.p999(), 999.0, 999.0 * 0.02);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0) << "max clamp";
+  EXPECT_GE(h.quantile(0.0), 1.0) << "never below the observed min";
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1.0 * 0.02);
+}
+
+TEST(HistogramInterpolationTest, ExponentialTailsMatchSortedReference) {
+  Rng rng(123);
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = 1.0 + rng.exponential(25.0);
+    h.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())) - 1);
+    const double exact = values[idx];
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.02) << "q=" << q;
+  }
+}
+
 TEST(RateMeterTest, BandwidthMath) {
   RateMeter m;
   m.add(1'000'000'000);  // 1 GB

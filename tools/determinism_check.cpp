@@ -43,6 +43,12 @@
 //      switch admission, and tail drops all land in the digest; the serial
 //      and 8-worker runs must agree byte-for-byte, and the traffic must
 //      actually overflow a buffer (drops > 0) or the check proved nothing.
+//  10. open-loop serving (core/run_serving): a compressed serving_diurnal
+//      cycle -- Poisson-thinned diurnal arrivals, lender-side QoS credits,
+//      a mid-run lender kill with reactive failover -- run serially and on
+//      8 workers; the report's canonical serialization (every per-source
+//      counter, SLO window, and latency digest) must be byte-identical,
+//      and the kill must actually trigger failovers or it proved nothing.
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
@@ -62,6 +68,7 @@
 #include "axi/router.hpp"
 #include "axi/testbench.hpp"
 #include "core/resilience.hpp"
+#include "core/serving.hpp"
 #include "ctrl/control_plane.hpp"
 #include "ctrl/policy.hpp"
 #include "ctrl/registry.hpp"
@@ -669,6 +676,61 @@ bool scenario_fabric(std::uint64_t seed, std::ostringstream& out) {
   return match;
 }
 
+// Scenario 10: the open-loop serving harness.  A compressed serving_diurnal
+// (one 2 ms diurnal cycle, the lender kill at its peak) driven through
+// run_serving; the harness already serializes every observable -- source
+// counters, failover walks, QoS rejections, SLO windows -- in fixed order,
+// so the comparison is simply its canonical string.  TFSIM_PDES is pinned
+// per run because the Cluster honors the environment (the CI tsan job sets
+// TFSIM_PDES=8, which would silently retarget the serial reference).
+tfsim::core::ServingReport serving_traffic(std::uint64_t seed,
+                                           unsigned threads) {
+  auto spec = *tfsim::scenario::builtin("serving_diurnal");
+  spec.traffic.seed = seed;
+  spec.traffic.duration_us = 2000.0;
+  spec.traffic.diurnal_period_us = 2000.0;
+  spec.faults.kill_at_us = 1000.0;
+  spec.slo.window_us = 500.0;
+  spec.pdes.threads = threads;
+  setenv("TFSIM_PDES", std::to_string(threads).c_str(), 1);
+  tfsim::node::Cluster cluster(spec);
+  return tfsim::core::run_serving(cluster);
+}
+
+bool scenario_serving(std::uint64_t seed, std::ostringstream& out) {
+  const char* env = std::getenv("TFSIM_PDES");
+  const std::string saved = env != nullptr ? env : "";
+  const bool had_env = env != nullptr;
+
+  const tfsim::core::ServingReport serial = serving_traffic(seed, 1);
+  const tfsim::core::ServingReport parallel = serving_traffic(seed, 8);
+
+  if (had_env) {
+    setenv("TFSIM_PDES", saved.c_str(), 1);
+  } else {
+    unsetenv("TFSIM_PDES");
+  }
+
+  const bool match =
+      serial.serialized == parallel.serialized && serial.failovers > 0;
+  out << "serving: digest=" << serial.digest
+      << " completed=" << serial.totals.completed
+      << " failovers=" << serial.failovers
+      << " serial==8-thread="
+      << (serial.serialized == parallel.serialized ? "yes" : "NO") << "\n";
+  if (serial.serialized != parallel.serialized) {
+    std::fprintf(stderr,
+                 "determinism_check: serving harness diverged across thread "
+                 "counts\n--- serial ---\n%s\n--- 8 threads ---\n%s\n",
+                 serial.serialized.c_str(), parallel.serialized.c_str());
+  } else if (serial.failovers == 0) {
+    std::fprintf(stderr,
+                 "determinism_check: serving scenario saw no failovers -- "
+                 "the mid-run kill path went unexercised\n");
+  }
+  return match;
+}
+
 std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
@@ -680,6 +742,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   sweep_ok = scenario_faults(seed, out) && sweep_ok;
   sweep_ok = scenario_pdes(seed, out) && sweep_ok;
   sweep_ok = scenario_fabric(seed, out) && sweep_ok;
+  sweep_ok = scenario_serving(seed, out) && sweep_ok;
   return out.str();
 }
 

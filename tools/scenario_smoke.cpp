@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/serving.hpp"
 #include "node/cluster.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/units.hpp"
@@ -34,6 +35,28 @@ bool smoke(const std::string& name) {
   }
 
   node::Cluster cluster(spec);
+
+  // Serving scenarios carry their own open-loop traffic; run one full
+  // cycle through the routed dispatcher instead of the NIC flow smoke.
+  if (spec.traffic.enabled()) {
+    const core::ServingReport rep = core::run_serving(cluster);
+    if (rep.totals.completed == 0 || !rep.balanced) {
+      std::fprintf(stderr, "[%s] FAIL: serving completed=%llu balanced=%d\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(rep.totals.completed),
+                   rep.balanced ? 1 : 0);
+      return false;
+    }
+    std::printf("[%s] OK: %zu node(s), serving %llu/%llu completed, "
+                "%llu/%zu windows met SLO\n",
+                name.c_str(), cluster.num_nodes(),
+                static_cast<unsigned long long>(rep.totals.completed),
+                static_cast<unsigned long long>(rep.totals.offered),
+                static_cast<unsigned long long>(rep.windows_met),
+                rep.windows.size());
+    return true;
+  }
+
   if (!cluster.attach_remote()) {
     std::fprintf(stderr, "[%s] FAIL: attach_remote\n", name.c_str());
     return false;
@@ -86,7 +109,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
   if (names.empty()) {
     names = {"paper_twonode", "pooling_1xN", "trunk_contention",
-             "leafspine_rack128"};
+             "leafspine_rack128", "serving_diurnal"};
   }
   bool ok = true;
   for (const auto& n : names) ok = smoke(n) && ok;
