@@ -19,6 +19,15 @@ std::string to_string(HealthClass h) {
   return "?";
 }
 
+HealthClass parse_health_class(const std::string& name) {
+  if (name == "healthy") return HealthClass::kHealthy;
+  if (name == "recovering") return HealthClass::kRecovering;
+  if (name == "degraded") return HealthClass::kDegraded;
+  if (name == "detached") return HealthClass::kDetached;
+  if (name == "device-lost") return HealthClass::kDeviceLost;
+  throw std::invalid_argument("unknown health class \"" + name + "\"");
+}
+
 ResilienceProbe assess_resilience(std::uint64_t period,
                                   const ResilienceOptions& opts) {
   ResilienceProbe probe;

@@ -30,6 +30,8 @@ enum class HealthClass {
 };
 
 std::string to_string(HealthClass h);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+HealthClass parse_health_class(const std::string& name);
 
 struct ResilienceProbe {
   std::uint64_t period = 0;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "ctrl/health.hpp"
 #include "ctrl/qos.hpp"
 #include "ctrl/serving_control.hpp"
 #include "sim/log.hpp"
@@ -34,12 +38,20 @@ struct LenderState {
   sim::Time dead_at = sim::kTimeNever;
   std::unique_ptr<ctrl::CreditQos> qos;  ///< null = uncapped lender
   std::uint64_t served = 0;
+  /// Gray windows (chaos timeline): bandwidth_factor holds the service
+  /// inflation (> 1), start/end the window.  Read-only after assembly.
+  std::vector<net::FlapSpec> gray;
+  std::uint64_t gray_seed = 0;   ///< jitter stream for inflated service
+  std::uint64_t gray_draws = 0;  ///< monotone draw counter (lender-owned)
+  std::uint64_t gray_hits = 0;   ///< requests served inside a gray window
 };
 
 /// Borrower-side per-(borrower, tenant) source state.  Mutated only from
 /// the borrower's domain (arrival, completion, timeout and observer events
 /// all run there).
 struct SourceState {
+  static constexpr std::uint32_t kNoLender = ~std::uint32_t{0};
+
   std::size_t borrower_idx = 0;
   std::uint32_t tenant_idx = 0;
   net::NodeId borrower_net = 0;
@@ -47,6 +59,39 @@ struct SourceState {
   std::vector<std::uint32_t> failover;    ///< remaining chain, lender indexes
   std::uint32_t consecutive_failures = 0;
   std::uint64_t failovers = 0;
+  /// ECMP flow identity: the request salt is a pure function of (source
+  /// index, stripe_shift), so every request of this source rides one spine
+  /// path until a re-stripe bumps the shift and rehashes the flow.
+  std::uint32_t stripe_shift = 0;
+  std::uint64_t restripes = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t dispatches = 0;
+  /// Online detector over this source's view of its current target; absent
+  /// when the scenario leaves detector.enabled false (timeout-only mode).
+  std::optional<ctrl::HealthDetector> detector;
+  /// Routing-decision generation, bumped on every re-stripe or migration.
+  /// Outcomes of requests dispatched under an older epoch say nothing about
+  /// the *current* route, so they feed the tail tracker but are invisible
+  /// to the detector and the timeout backstop -- without this, the stale
+  /// timeouts of a just-abandoned path re-trip the detector and every
+  /// reaction triggers the next one.
+  std::uint32_t epoch = 0;
+  /// Dispatch id -> epoch at dispatch time (detector mode only; bounded by
+  /// the source's in-flight window, erased at the terminal outcome).
+  std::map<std::uint64_t, std::uint32_t> inflight_epoch;
+  /// Two-strike escalation: the first sick verdict re-stripes (maybe it
+  /// was the path -- the cheap fix), the second migrates (it was the
+  /// lender).  Cleared by migration and rejoin.
+  bool escalated = false;
+  /// Lender abandoned on a detector migration, probed for rejoin; kNoLender
+  /// when the source sits on its preferred target.
+  std::uint32_t abandoned_primary = kNoLender;
+  double healthy_baseline_us = 0.0;  ///< baseline snapshot at migration
+  std::uint32_t good_probes = 0;
+  /// Dispatch ids currently riding as probes to the abandoned primary.
+  /// Probe outcomes feed the rejoin decision and the (honest) tail tracker
+  /// but never the detector or the timeout-failover walk.
+  std::set<std::uint64_t> probe_ids;
   TailTracker tracker;
   std::unique_ptr<workloads::OpenLoopSource> source;
 
@@ -120,6 +165,20 @@ ServingReport run_serving(node::Cluster& cluster) {
       traffic.lender_capacity_rps > 0.0
           ? static_cast<sim::Time>(1e12 / traffic.lender_capacity_rps)
           : 0;
+  // Gray-lender chaos windows, resolved once and attached read-only to the
+  // lender whose name they target (service inflation happens inside the
+  // lender's own domain events).
+  const std::vector<scenario::ChaosWindow> chaos_windows =
+      spec.chaos.enabled() ? scenario::resolve_chaos(spec.chaos)
+                           : std::vector<scenario::ChaosWindow>{};
+  for (const auto& w : chaos_windows) {
+    if (w.kind == scenario::ChaosKind::kGrayLender &&
+        traffic.lender_capacity_rps <= 0.0) {
+      throw std::invalid_argument(
+          "run_serving: chaos gray_lender needs traffic.lender_capacity_rps "
+          "> 0 (an uncapped lender has no service time to inflate)");
+    }
+  }
   std::vector<std::unique_ptr<LenderState>> lenders;
   for (std::size_t i = 0; i < cluster.num_lenders(); ++i) {
     auto L = std::make_unique<LenderState>();
@@ -129,6 +188,23 @@ ServingReport run_serving(node::Cluster& cluster) {
         cluster.lender(i).name() == spec.faults.kill_lender) {
       L->dead_at = sim::from_us(spec.faults.kill_at_us);
     }
+    for (const auto& w : chaos_windows) {
+      if (w.kind != scenario::ChaosKind::kGrayLender ||
+          w.target != cluster.lender(i).name()) {
+        continue;
+      }
+      net::FlapSpec g;
+      g.start = w.start;
+      g.duration = w.end == sim::kTimeNever ? sim::kTimeNever - w.start
+                                            : w.end - w.start;
+      g.bandwidth_factor = w.factor;  // here: service inflation, > 1
+      L->gray.push_back(g);
+    }
+    std::sort(L->gray.begin(), L->gray.end(),
+              [](const net::FlapSpec& a, const net::FlapSpec& b) {
+                return a.start < b.start;
+              });
+    L->gray_seed = net::mix64(spec.chaos.seed ^ net::mix64(i));
     if (traffic.lender_capacity_rps > 0.0) {
       ctrl::QosConfig qcfg;
       qcfg.window = sim::from_us(traffic.qos_window_us);
@@ -160,6 +236,15 @@ ServingReport run_serving(node::Cluster& cluster) {
       for (const auto rid : placements[ti].failover) {
         st->failover.push_back(lender_idx_by_registry.at(rid));
       }
+      if (spec.detector.enabled) {
+        ctrl::HealthConfig hc;
+        hc.alpha = spec.detector.alpha;
+        hc.latency_threshold = spec.detector.latency_threshold;
+        hc.timeout_weight = spec.detector.timeout_weight;
+        hc.warmup = spec.detector.warmup;
+        hc.confirm = spec.detector.confirm;
+        st->detector.emplace(hc);
+      }
       states.push_back(std::move(st));
     }
   }
@@ -186,9 +271,30 @@ ServingReport run_serving(node::Cluster& cluster) {
     auto dispatch = [&, si](sim::Time now, std::uint64_t id,
                             workloads::OpenLoopSource::CompletionFn done) {
       SourceState& src = *states[si];
-      const std::uint32_t li = src.target;
+      std::uint32_t li = src.target;
+      // Rejoin probing: while a migrated source holds an abandoned primary,
+      // every probe_interval-th dispatch rides to it instead of the current
+      // target; the observer judges the echo against the healthy baseline.
+      ++src.dispatches;
+      bool is_probe = false;
+      if (src.abandoned_primary != SourceState::kNoLender &&
+          spec.detector.probe_interval > 0 &&
+          src.dispatches % spec.detector.probe_interval == 0) {
+        li = src.abandoned_primary;
+        src.probe_ids.insert(id);
+        is_probe = true;
+      }
+      if (src.detector.has_value() && !is_probe) {
+        src.inflight_epoch.emplace(id, src.epoch);
+      }
       const std::uint32_t tenant = src.tenant_idx;
-      const std::uint64_t salt = (static_cast<std::uint64_t>(si) << 40) ^ id;
+      // Per-flow sticky ECMP: real fabrics hash the 5-tuple, not the packet,
+      // so one source's requests ride one spine path.  The salt is a pure
+      // function of (source, stripe_shift); a detector re-stripe bumps the
+      // shift and rehashes the flow somewhere else -- which is what makes
+      // re-striping around a sick spine possible at all.
+      const std::uint64_t salt = net::mix64(
+          (static_cast<std::uint64_t>(si) << 20) ^ src.stripe_shift);
       net.post_routed(
           *pdes, now, src.borrower_net, lenders[li]->net_id, traffic.req_bytes,
           sim::Priority::kBulk, salt,
@@ -208,9 +314,20 @@ ServingReport run_serving(node::Cluster& cluster) {
               return;
             }
             // Serial service queue: one request at a time at the lender's
-            // serving capacity.
+            // serving capacity.  Inside a gray window the lender still
+            // answers, just `factor`x slower with seeded jitter -- the
+            // failure mode no timeout ever sees.
             const sim::Time begin = std::max(d.arrival, L.busy_until);
-            const sim::Time fin = begin + svc;
+            sim::Time eff_svc = svc;
+            if (const net::FlapSpec* g = net::active_window(L.gray, begin)) {
+              const double jitter =
+                  1.0 + 0.5 * net::unit_interval(net::mix64(
+                                  L.gray_seed ^ net::mix64(L.gray_draws++)));
+              eff_svc = static_cast<sim::Time>(static_cast<double>(svc) *
+                                              g->bandwidth_factor * jitter);
+              ++L.gray_hits;
+            }
+            const sim::Time fin = begin + eff_svc;
             L.busy_until = fin;
             ++L.served;
             L.engine->schedule_at(fin, [&, si, li, salt, done, fin] {
@@ -230,29 +347,127 @@ ServingReport run_serving(node::Cluster& cluster) {
     st.source = std::make_unique<workloads::OpenLoopSource>(
         cluster.borrower(st.borrower_idx).engine(), ocfg, dispatch);
     st.source->set_observer([&, si](sim::Time arrival, sim::Time terminal,
-                                    workloads::RequestOutcome outcome) {
+                                    workloads::RequestOutcome outcome,
+                                    std::uint64_t req_id) {
       SourceState& src = *states[si];
+      // Probe outcomes feed the rejoin decision (and the honest tail
+      // tracker) but never the detector or the timeout-failover walk: they
+      // measure the *abandoned* lender, not the current target.
+      const bool probe =
+          req_id != workloads::OpenLoopSource::kNoRequestId &&
+          src.probe_ids.erase(req_id) > 0;
+      // Epoch attribution: an outcome only testifies about the route it was
+      // dispatched under.  After a re-stripe or migration, the old route's
+      // in-flight requests still terminate (mostly as timeouts); feeding
+      // them to the detector would re-trip it against the *new* route.
+      bool stale = false;
+      if (!probe && req_id != workloads::OpenLoopSource::kNoRequestId) {
+        const auto it = src.inflight_epoch.find(req_id);
+        if (it != src.inflight_epoch.end()) {
+          stale = it->second != src.epoch;
+          src.inflight_epoch.erase(it);
+        }
+      }
+      const auto restripe = [&src] {
+        ++src.stripe_shift;
+        ++src.restripes;
+        ++src.epoch;
+        src.consecutive_failures = 0;
+        // Same lender over a new path: the healthy baseline still applies.
+        src.detector->soft_reset();
+      };
+      const auto migrate = [&src] {
+        if (src.failover.empty()) {
+          src.detector->soft_reset();  // nowhere to go; keep watching
+          return;
+        }
+        src.healthy_baseline_us = src.detector->baseline_us();
+        src.abandoned_primary = src.target;
+        src.target = src.failover.front();
+        src.failover.erase(src.failover.begin());
+        ++src.failovers;
+        ++src.epoch;
+        src.consecutive_failures = 0;
+        src.good_probes = 0;
+        src.escalated = false;
+        src.detector->reset();  // a different lender: relearn the baseline
+      };
+      // Two-strike reaction ladder: the first sick verdict re-stripes the
+      // ECMP flow (cheap; a killed spine or browned-out port is fixed by a
+      // rehash), the second migrates off the lender (the gray-lender
+      // signature: a new path did not help, so the lender itself is sick).
+      const auto react = [&] {
+        if (!src.detector.has_value() || !src.detector->sick()) return;
+        if (!src.escalated) {
+          src.escalated = true;
+          restripe();
+        } else {
+          migrate();
+        }
+      };
       switch (outcome) {
-        case workloads::RequestOutcome::kCompleted:
-          src.tracker.record_latency(terminal,
-                                     sim::to_us(terminal - arrival));
+        case workloads::RequestOutcome::kCompleted: {
+          const double lat_us = sim::to_us(terminal - arrival);
+          src.tracker.record_latency(terminal, lat_us);
+          if (probe) {
+            // A good probe completes within rejoin_margin x the healthy
+            // baseline -- tighter than the sickness threshold, so a lender
+            // that is merely *less* gray does not win the traffic back.
+            const bool good =
+                src.healthy_baseline_us <= 0.0 ||
+                lat_us <=
+                    spec.detector.rejoin_margin * src.healthy_baseline_us;
+            if (good && ++src.good_probes >= spec.detector.rejoin_confirm) {
+              // Rejoin the recovered primary; the stand-in lender returns
+              // to the head of the failover chain.
+              src.failover.insert(src.failover.begin(), src.target);
+              src.target = src.abandoned_primary;
+              src.abandoned_primary = SourceState::kNoLender;
+              ++src.epoch;
+              src.good_probes = 0;
+              src.escalated = false;
+              ++src.rejoins;
+              if (src.detector.has_value()) src.detector->reset();
+            } else if (!good) {
+              src.good_probes = 0;
+            }
+            break;
+          }
+          if (stale) break;  // old route's echo: tracked above, nothing more
           src.consecutive_failures = 0;
+          if (src.detector.has_value()) {
+            src.detector->observe_latency(lat_us);
+            react();
+          }
           break;
+        }
         case workloads::RequestOutcome::kFailed:
           src.tracker.record_failed(terminal);
-          // Reactive re-placement: after enough consecutive timeouts the
-          // source walks its precomputed failover chain.  Purely local
-          // state, so the decision is deterministic under any worker count.
+          if (probe) {
+            src.good_probes = 0;
+            break;
+          }
+          if (stale) break;  // old route's timeout: not the current route
+          if (src.detector.has_value()) {
+            src.detector->observe_timeout();
+            react();
+          }
+          // Reactive re-placement backstop: after enough consecutive
+          // timeouts the source walks its precomputed failover chain.
+          // Purely local state, so the decision is deterministic under any
+          // worker count.
           if (++src.consecutive_failures >= traffic.failover_threshold &&
               !src.failover.empty()) {
             src.target = src.failover.front();
             src.failover.erase(src.failover.begin());
             ++src.failovers;
+            if (src.detector.has_value()) ++src.epoch;
             src.consecutive_failures = 0;
           }
           break;
         case workloads::RequestOutcome::kRejected:
           src.tracker.record_rejected(terminal);
+          if (probe) src.good_probes = 0;
           break;
         case workloads::RequestOutcome::kShed:
           src.tracker.record_shed(terminal);
@@ -281,13 +496,22 @@ ServingReport run_serving(node::Cluster& cluster) {
     report.totals.in_flight += c.in_flight;
     report.totals.queued += c.queued;
     report.failovers += st.failovers;
+    report.restripes += st.restripes;
+    report.rejoins += st.rejoins;
     merged.merge(st.tracker);
     ser << "source " << si << " tenant=" << tenants[st.tenant_idx].name
         << " borrower=" << st.borrower_idx << " offered=" << c.offered
         << " completed=" << c.completed << " shed=" << c.shed
         << " rejected=" << c.rejected << " failed=" << c.failed
         << " in_flight=" << c.in_flight << " queued=" << c.queued
-        << " target=" << st.target << " failovers=" << st.failovers << "\n";
+        << " target=" << st.target << " failovers=" << st.failovers
+        << " restripes=" << st.restripes << " rejoins=" << st.rejoins
+        << " stripe_shift=" << st.stripe_shift << "\n";
+  }
+  for (const auto& L : lenders) report.gray_inflated += L->gray_hits;
+  for (const auto& [sw_id, sw] : cluster.network().switches()) {
+    (void)sw_id;
+    report.switch_chaos_drops += sw.total_chaos_drops();
   }
   for (std::uint32_t ti = 0; ti < tenants.size(); ++ti) {
     ServingTenantReport tr;
@@ -345,6 +569,10 @@ ServingReport run_serving(node::Cluster& cluster) {
       << " in_flight=" << report.totals.in_flight
       << " queued=" << report.totals.queued
       << " failovers=" << report.failovers
+      << " restripes=" << report.restripes
+      << " rejoins=" << report.rejoins
+      << " gray_inflated=" << report.gray_inflated
+      << " chaos_drops=" << report.switch_chaos_drops
       << " balanced=" << (report.balanced ? 1 : 0) << "\n";
   report.serialized = ser.str();
   report.digest = fnv1a(report.serialized);

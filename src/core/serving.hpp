@@ -16,6 +16,17 @@
 // reactively by the data plane — after `failover_threshold` consecutive
 // timeouts a source retargets the next lender in its precomputed chain —
 // and reconciled in the registry after the run.
+//
+// When the scenario enables the online detector (detector.enabled), each
+// source additionally runs a ctrl::HealthDetector over its own completion
+// latencies and timeouts.  A timeout-dominated sick verdict re-stripes the
+// source's ECMP flow around the dead path; a latency-dominated one (the
+// gray-lender signature) re-stripes once, then migrates to the next lender
+// in the chain *before* the timeout budget burns down, snapshotting the
+// healthy baseline.  Every probe_interval-th dispatch afterwards probes the
+// abandoned primary; rejoin_confirm consecutive probes completing within
+// threshold x baseline rejoin it.  All of this is per-source local state,
+// so the chaos reactions are byte-identical from 1 to N workers.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +55,14 @@ struct ServingReport {
   SloTargets targets;
   std::uint64_t windows_met = 0;
   std::uint64_t failovers = 0;
+  /// Detector-driven ECMP re-stripes (stripe_shift bumps) across sources.
+  std::uint64_t restripes = 0;
+  /// Sources that returned to a recovered primary after probing it healthy.
+  std::uint64_t rejoins = 0;
+  /// Requests served inside a gray-lender window (service-time inflated).
+  std::uint64_t gray_inflated = 0;
+  /// Frames dropped by chaos down windows at switches (blast radius).
+  std::uint64_t switch_chaos_drops = 0;
   bool balanced = false;  ///< offered == terminal buckets + residual
   /// Canonical fixed-order serialization of every observable above; two
   /// runs agree iff these strings are byte-identical.

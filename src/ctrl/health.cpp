@@ -1,0 +1,83 @@
+#include "ctrl/health.hpp"
+
+#include <stdexcept>
+
+namespace tfsim::ctrl {
+
+HealthDetector::HealthDetector(const HealthConfig& cfg) : cfg_(cfg) {
+  if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0) {
+    throw std::invalid_argument("HealthDetector: alpha must be in (0, 1]");
+  }
+  if (cfg_.latency_threshold <= 1.0) {
+    throw std::invalid_argument(
+        "HealthDetector: latency threshold must be > 1 (1.0 is the healthy "
+        "baseline itself)");
+  }
+  if (cfg_.timeout_weight < 0.0) {
+    throw std::invalid_argument(
+        "HealthDetector: timeout weight must be >= 0");
+  }
+  if (cfg_.warmup == 0 || cfg_.confirm == 0) {
+    throw std::invalid_argument(
+        "HealthDetector: warmup and confirm must be >= 1");
+  }
+}
+
+double HealthDetector::latency_score() const {
+  if (!warmed_up() || baseline_ <= 0.0) return 0.0;
+  return ewma_latency_ / baseline_;
+}
+
+void HealthDetector::observe_latency(double us) {
+  if (us < 0.0) {
+    throw std::invalid_argument("HealthDetector: negative latency");
+  }
+  ++observations_;
+  if (samples_ < cfg_.warmup) {
+    // Running mean until the baseline freezes; the EWMA tracks alongside so
+    // the first post-warmup score is already meaningful.
+    baseline_ += (us - baseline_) / static_cast<double>(samples_ + 1);
+    ++samples_;
+    ewma_latency_ = samples_ == 1
+                        ? us
+                        : ewma_latency_ + cfg_.alpha * (us - ewma_latency_);
+    return;
+  }
+  ewma_latency_ += cfg_.alpha * (us - ewma_latency_);
+  ewma_timeout_ += cfg_.alpha * (0.0 - ewma_timeout_);
+  score_sample();
+}
+
+void HealthDetector::observe_timeout() {
+  ++observations_;
+  if (samples_ < cfg_.warmup) return;  // still learning; timeouts here are
+                                       // the timeout machinery's problem
+  ewma_timeout_ += cfg_.alpha * (1.0 - ewma_timeout_);
+  score_sample();
+}
+
+void HealthDetector::score_sample() {
+  if (score() > cfg_.latency_threshold) {
+    if (++bad_streak_ >= cfg_.confirm) sick_ = true;
+  } else {
+    bad_streak_ = 0;
+  }
+}
+
+void HealthDetector::soft_reset() {
+  sick_ = false;
+  bad_streak_ = 0;
+  ewma_timeout_ = 0.0;
+  ewma_latency_ = warmed_up() ? baseline_ : ewma_latency_;
+}
+
+void HealthDetector::reset() {
+  sick_ = false;
+  bad_streak_ = 0;
+  ewma_timeout_ = 0.0;
+  ewma_latency_ = 0.0;
+  baseline_ = 0.0;
+  samples_ = 0;
+}
+
+}  // namespace tfsim::ctrl

@@ -1,17 +1,9 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tfsim::net {
-
-namespace {
-
-/// Uniform double in [0, 1) from the top 53 bits.
-double unit(std::uint64_t bits) {
-  return static_cast<double>(bits >> 11) * 0x1.0p-53;
-}
-
-}  // namespace
 
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -31,27 +23,67 @@ const char* to_string(FaultOutcome o) {
   return "?";
 }
 
+FaultOutcome parse_fault_outcome(const std::string& name) {
+  if (name == "delivered") return FaultOutcome::kDelivered;
+  if (name == "corrupted") return FaultOutcome::kCorrupted;
+  if (name == "lost") return FaultOutcome::kLost;
+  if (name == "flap-dropped") return FaultOutcome::kFlapDropped;
+  if (name == "switch-dropped") return FaultOutcome::kSwitchDropped;
+  throw std::invalid_argument("unknown fault outcome \"" + name + "\"");
+}
+
+double unit_interval(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+void validate_flap_schedule(std::vector<FlapSpec>& flaps,
+                            const std::string& what) {
+  std::sort(flaps.begin(), flaps.end(),
+            [](const FlapSpec& a, const FlapSpec& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 0; i < flaps.size(); ++i) {
+    const FlapSpec& f = flaps[i];
+    if (f.duration == 0) {
+      throw std::invalid_argument(what + ": flap window " + std::to_string(i) +
+                                  " duration (for_us) must be > 0");
+    }
+    if (f.bandwidth_factor < 0.0 || f.bandwidth_factor >= 1.0) {
+      throw std::invalid_argument(what + ": flap window " + std::to_string(i) +
+                                  " bandwidth factor must be in [0, 1)");
+    }
+    if (i > 0 && flaps[i - 1].end() > f.start) {
+      throw std::invalid_argument(
+          what + ": flap windows " + std::to_string(i - 1) + " and " +
+          std::to_string(i) +
+          " overlap (active-window precedence would depend on declaration "
+          "order)");
+    }
+  }
+}
+
+const FlapSpec* active_window(const std::vector<FlapSpec>& sorted,
+                              sim::Time t) {
+  // First window starting strictly after t; its predecessor is the only
+  // candidate that can cover t (the schedule is sorted and non-overlapping).
+  const auto it = std::upper_bound(
+      sorted.begin(), sorted.end(), t,
+      [](sim::Time v, const FlapSpec& f) { return v < f.start; });
+  if (it == sorted.begin()) return nullptr;
+  const FlapSpec& f = *std::prev(it);
+  return t < f.end() ? &f : nullptr;
+}
+
 FaultPlan::FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {
   if (cfg_.loss_rate < 0.0 || cfg_.loss_rate > 1.0 ||
       cfg_.corrupt_rate < 0.0 || cfg_.corrupt_rate > 1.0) {
     throw std::invalid_argument("FaultPlan: rates must be in [0, 1]");
   }
-  for (const FlapSpec& f : cfg_.flaps) {
-    if (f.duration == 0) {
-      throw std::invalid_argument("FaultPlan: flap duration must be > 0");
-    }
-    if (f.bandwidth_factor < 0.0 || f.bandwidth_factor >= 1.0) {
-      throw std::invalid_argument(
-          "FaultPlan: flap bandwidth factor must be in [0, 1)");
-    }
-  }
+  validate_flap_schedule(cfg_.flaps, "FaultPlan");
 }
 
 const FlapSpec* FaultPlan::active_flap(sim::Time t) const {
-  for (const FlapSpec& f : cfg_.flaps) {
-    if (t >= f.start && t < f.end()) return &f;
-  }
-  return nullptr;
+  return active_window(cfg_.flaps, t);
 }
 
 FaultOutcome FaultPlan::next(sim::Time depart) {
@@ -64,8 +96,10 @@ FaultOutcome FaultPlan::next(sim::Time depart) {
   }
   // Two independent draws per attempt, both keyed off (seed, k) alone.
   const std::uint64_t base = mix64(cfg_.seed ^ mix64(k));
-  if (unit(base) < cfg_.loss_rate) return FaultOutcome::kLost;
-  if (unit(mix64(base)) < cfg_.corrupt_rate) return FaultOutcome::kCorrupted;
+  if (unit_interval(base) < cfg_.loss_rate) return FaultOutcome::kLost;
+  if (unit_interval(mix64(base)) < cfg_.corrupt_rate) {
+    return FaultOutcome::kCorrupted;
+  }
   return FaultOutcome::kDelivered;
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/link.hpp"
@@ -59,6 +60,9 @@ enum class FaultOutcome {
 };
 
 const char* to_string(FaultOutcome o);
+/// Inverse of to_string; throws std::invalid_argument on unknown names
+/// (report parsers round-trip through this pair).
+FaultOutcome parse_fault_outcome(const std::string& name);
 
 /// SplitMix64 finalizer: one full avalanche round, the same mixer sim::Rng
 /// seeds through.  Pure function of the input; shared by the fault streams
@@ -66,8 +70,31 @@ const char* to_string(FaultOutcome o);
 /// integer identities only (simlint R4).
 std::uint64_t mix64(std::uint64_t x);
 
+/// Uniform double in [0, 1) from the top 53 bits of a hashed word.  The one
+/// place the bits->unit-interval idiom lives; the gray-lender jitter stream
+/// (core/serving.cpp) shares it with the per-packet fault draws.
+double unit_interval(std::uint64_t bits);
+
+/// Sort a flap/chaos window schedule by start and validate it: every window
+/// needs duration > 0 and bandwidth_factor in [0, 1), and no two windows
+/// may overlap (overlap would make the active-window precedence depend on
+/// declaration order).  Throws std::invalid_argument naming the offending
+/// window index; `what` names the schedule in the message ("FaultPlan",
+/// "switch spine1 down windows", ...).
+void validate_flap_schedule(std::vector<FlapSpec>& flaps,
+                            const std::string& what);
+
+/// The window covering `t` in a schedule already sorted by start with no
+/// overlaps (validate_flap_schedule's postcondition); nullptr when clean.
+/// Binary search: chaos timelines make schedules long, and this runs per
+/// packet.
+const FlapSpec* active_window(const std::vector<FlapSpec>& sorted,
+                              sim::Time t);
+
 /// Replayable per-packet fault decisions.  Stateless apart from a monotone
-/// attempt counter: decision k is a pure function of (seed, k).
+/// attempt counter: decision k is a pure function of (seed, k).  The
+/// constructor sorts the flap schedule by start and rejects overlaps, so
+/// config().flaps is the validated, ordered form of the input.
 class FaultPlan {
  public:
   explicit FaultPlan(const FaultConfig& cfg);
@@ -76,7 +103,8 @@ class FaultPlan {
   /// Precedence: hard-down flap > loss > corruption.
   FaultOutcome next(sim::Time depart);
 
-  /// The flap interval covering `t`, if any (degraded or down).
+  /// The flap interval covering `t`, if any (degraded or down).  Binary
+  /// search over the sorted schedule (active_window).
   const FlapSpec* active_flap(sim::Time t) const;
 
   const FaultConfig& config() const { return cfg_; }

@@ -125,11 +125,23 @@ bool Network::transmit_hop(Delivery& d, NodeId from, NodeId to,
                            std::uint64_t wire_bytes, sim::Priority prio) {
   const auto key = std::make_pair(from, to);
   Link& out = *links_.at(key);
+  // A degraded chaos window (port brownout) stretches the frame's effective
+  // serialization, like a degraded link flap; the window is looked up at the
+  // frame's arrival at the switch, matching the admission decision below.
+  double stretch = 1.0;
   if (const auto sit = switches_.find(from); sit != switches_.end()) {
     if (!sit->second.admit(to, d.arrival, wire_bytes, out)) {
+      // Tail-dropped or inside a chaos down window (kill_switch / hard-down
+      // brownout); downstream hops never see the frame.
       d.outcome = FaultOutcome::kSwitchDropped;
-      return false;  // tail-dropped; downstream hops never see the frame
+      return false;
     }
+    stretch = sit->second.service_stretch(to, d.arrival);
+  }
+  if (stretch > 1.0) {
+    const sim::Time ser = out.config().bandwidth.serialization_time(wire_bytes);
+    d.arrival += static_cast<sim::Time>(static_cast<double>(ser) *
+                                        (stretch - 1.0));
   }
   const auto fit = faulty_.find(key);
   if (fit == faulty_.end()) {

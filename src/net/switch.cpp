@@ -20,9 +20,45 @@ QueuePolicy parse_queue_policy(const std::string& name) {
                               "\" (expected drop or backpressure)");
 }
 
+void Switch::set_down_windows(std::vector<FlapSpec> windows) {
+  validate_flap_schedule(windows, "Switch down windows");
+  down_ = std::move(windows);
+}
+
+void Switch::set_port_windows(NodeId egress, std::vector<FlapSpec> windows) {
+  validate_flap_schedule(windows, "Switch port " + std::to_string(egress) +
+                                      " brownout windows");
+  port_windows_[egress] = std::move(windows);
+}
+
+const FlapSpec* Switch::active_chaos(NodeId egress, sim::Time now) const {
+  // Switch-wide windows dominate: a killed switch is dead on every port no
+  // matter what the per-port schedule says.
+  if (const FlapSpec* w = active_window(down_, now)) return w;
+  if (const auto it = port_windows_.find(egress); it != port_windows_.end()) {
+    return active_window(it->second, now);
+  }
+  return nullptr;
+}
+
+bool Switch::chaos_down(NodeId egress, sim::Time now) const {
+  const FlapSpec* w = active_chaos(egress, now);
+  return w != nullptr && w->down();
+}
+
+double Switch::service_stretch(NodeId egress, sim::Time now) const {
+  const FlapSpec* w = active_chaos(egress, now);
+  if (w == nullptr || w->down()) return 1.0;
+  return 1.0 / w->bandwidth_factor;
+}
+
 bool Switch::admit(NodeId egress, sim::Time now, std::uint64_t wire_bytes,
                    const Link& out) {
   PortStats& p = ports_[egress];
+  if (chaos_down(egress, now)) {
+    ++p.chaos_drops;
+    return false;
+  }
   const std::uint64_t occ = out.queued_bytes(now);
   if (cfg_.policy == QueuePolicy::kDrop &&
       occ + wire_bytes > cfg_.buffer_bytes) {
@@ -44,6 +80,12 @@ const PortStats* Switch::port(NodeId egress) const {
 std::uint64_t Switch::total_drops() const {
   std::uint64_t n = 0;
   for (const auto& [id, p] : ports_) n += p.drops;
+  return n;
+}
+
+std::uint64_t Switch::total_chaos_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, p] : ports_) n += p.chaos_drops;
   return n;
 }
 

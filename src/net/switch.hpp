@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/units.hpp"
@@ -50,6 +52,10 @@ struct PortStats {
   std::uint64_t frames = 0;  ///< admitted frames
   std::uint64_t bytes = 0;   ///< admitted wire bytes
   std::uint64_t drops = 0;   ///< tail-dropped frames (kDrop only)
+  /// Frames dropped by a chaos down window (kill_switch or a hard-down port
+  /// brownout) -- kept apart from buffer tail-drops so a chaos event's
+  /// blast radius is directly observable.
+  std::uint64_t chaos_drops = 0;
   /// Peak queue depth in bytes, measured right after admission (occupancy
   /// the admitted frame sees plus the frame itself).
   std::uint64_t peak_queued_bytes = 0;
@@ -78,10 +84,37 @@ class Switch {
   /// Stats for one egress port; nullptr before any frame touched it.
   const PortStats* port(NodeId egress) const;
   std::uint64_t total_drops() const;
+  std::uint64_t total_chaos_drops() const;
+
+  // --- chaos schedules (net/fault.hpp FlapSpec semantics) ------------------
+  //
+  // Written once at Cluster assembly from the scenario's chaos timeline and
+  // only *read* per frame afterwards, so concurrent PDES domains forwarding
+  // through different switches never race on them.  A down() window drops
+  // every frame entering it (counted in chaos_drops); a degraded window
+  // (0 < factor < 1) admits the frame and stretches its serialization by
+  // 1/factor (applied by Network::transmit_hop).
+
+  /// Whole-switch windows (kill_switch): apply to every egress port.
+  void set_down_windows(std::vector<FlapSpec> windows);
+  /// Per-port brownout windows for the egress toward `egress`.
+  void set_port_windows(NodeId egress, std::vector<FlapSpec> windows);
+
+  const std::vector<FlapSpec>& down_windows() const { return down_; }
+  /// True when a hard-down window (switch-wide or this port's) covers `now`.
+  bool chaos_down(NodeId egress, sim::Time now) const;
+  /// Serialization multiplier for frames leaving toward `egress` at `now`:
+  /// 1.0 on a clean port, 1/factor inside a degraded window (the tighter of
+  /// the switch-wide and per-port windows wins).
+  double service_stretch(NodeId egress, sim::Time now) const;
 
  private:
+  const FlapSpec* active_chaos(NodeId egress, sim::Time now) const;
+
   SwitchConfig cfg_;
   std::map<NodeId, PortStats> ports_;
+  std::vector<FlapSpec> down_;                      ///< sorted, validated
+  std::map<NodeId, std::vector<FlapSpec>> port_windows_;  ///< each sorted
 };
 
 }  // namespace tfsim::net

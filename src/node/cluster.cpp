@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ctrl/policy.hpp"
 #include "net/latency_dist.hpp"
@@ -35,6 +38,7 @@ Cluster::Cluster(const scenario::ScenarioSpec& spec) : spec_(spec) {
   build_control_plane();
   apply_injector();
   apply_faults();
+  apply_chaos();
   remote_.resize(borrowers_.size());
   if (pdes_ != nullptr) {
     // Lookahead derives from the assembled fabric: no frame reaches another
@@ -227,6 +231,96 @@ void Cluster::apply_faults() {
   }
   throw std::invalid_argument("Cluster: faults.kill_lender names no lender: " +
                               f.kill_lender);
+}
+
+void Cluster::apply_chaos() {
+  if (!spec_.chaos.enabled()) return;
+  const auto windows = scenario::resolve_chaos(spec_.chaos);
+
+  // Targets name fabric elements by suffix ("spine1" matches
+  // "chaos-rack/spine1"), so scenario files stay independent of the
+  // name-prefixing the topology builder applies.
+  const auto suffix_match = [](const std::string& name,
+                               const std::string& suffix) {
+    if (name == suffix) return true;
+    return name.size() > suffix.size() + 1 &&
+           name[name.size() - suffix.size() - 1] == '/' &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  const auto find_switch = [&](const std::string& suffix,
+                               const std::string& what) -> net::NodeId {
+    for (const auto& [id, sw] : network_.switches()) {
+      (void)sw;
+      if (suffix_match(network_.node_name(id), suffix)) return id;
+    }
+    throw std::invalid_argument("Cluster: " + what +
+                                " names no fabric switch: " + suffix);
+  };
+  const auto find_net_node = [&](const std::string& suffix,
+                                 const std::string& what) -> net::NodeId {
+    for (net::NodeId id = 0; id < network_.num_nodes(); ++id) {
+      if (suffix_match(network_.node_name(id), suffix)) return id;
+    }
+    throw std::invalid_argument("Cluster: " + what +
+                                " names no network node: " + suffix);
+  };
+
+  // Accumulate per target first so each schedule is validated and written
+  // exactly once (the switches only ever see sorted, non-overlapping sets).
+  std::map<net::NodeId, std::vector<net::FlapSpec>> down;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<net::FlapSpec>>
+      ports;
+  for (const auto& w : windows) {
+    net::FlapSpec flap;
+    flap.start = w.start;
+    flap.duration = w.end == sim::kTimeNever ? sim::kTimeNever - w.start
+                                             : w.end - w.start;
+    flap.bandwidth_factor = w.factor;
+    switch (w.kind) {
+      case scenario::ChaosKind::kKillSwitch:
+        down[find_switch(w.target, "chaos kill_switch")].push_back(flap);
+        break;
+      case scenario::ChaosKind::kBrownoutPort: {
+        const auto colon = w.target.find(':');
+        const net::NodeId sw =
+            find_switch(w.target.substr(0, colon), "chaos brownout_port");
+        const net::NodeId nbr =
+            find_net_node(w.target.substr(colon + 1), "chaos brownout_port");
+        try {
+          network_.link(sw, nbr);
+        } catch (const std::invalid_argument&) {
+          throw std::invalid_argument(
+              "Cluster: chaos brownout_port \"" + w.target +
+              "\" names no egress link of that switch");
+        }
+        ports[{sw, nbr}].push_back(flap);
+        break;
+      }
+      case scenario::ChaosKind::kGrayLender: {
+        // Applied later by the serving loop; here only the name check, so a
+        // typo fails at assembly exactly like faults.kill_lender.
+        const auto hit =
+            std::find_if(lenders_.begin(), lenders_.end(), [&](Node* l) {
+              return l->name() == w.target;
+            });
+        if (hit == lenders_.end()) {
+          throw std::invalid_argument(
+              "Cluster: chaos gray_lender names no lender: " + w.target);
+        }
+        break;
+      }
+      case scenario::ChaosKind::kRecover:
+        break;  // resolve_chaos never emits recover windows
+    }
+  }
+  for (auto& [id, flaps] : down) {
+    network_.switch_at(id).set_down_windows(std::move(flaps));
+  }
+  for (auto& [port, flaps] : ports) {
+    network_.switch_at(port.first).set_port_windows(port.second,
+                                                    std::move(flaps));
+  }
 }
 
 void Cluster::kill_lender(std::size_t lender_idx, sim::Time at) {

@@ -100,6 +100,11 @@ class Cluster {
   void build_control_plane();
   void apply_injector();
   void apply_faults();
+  /// Resolve the scenario's chaos timeline into read-only switch down /
+  /// port-brownout windows (written once here, only read per frame after,
+  /// so PDES domains never race on them).  Gray-lender windows stay in the
+  /// spec; core/run_serving applies them at the lender's service queue.
+  void apply_chaos();
 
   scenario::ScenarioSpec spec_;
   sim::Engine engine_;

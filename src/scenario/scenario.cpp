@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -159,6 +160,12 @@ FaultSpec parse_faults(const Json& obj) {
   FaultSpec f;
   f.link.loss_rate = get_double(obj, "loss_rate", f.link.loss_rate);
   f.link.corrupt_rate = get_double(obj, "corrupt_rate", f.link.corrupt_rate);
+  if (f.link.loss_rate < 0.0 || f.link.loss_rate > 1.0) {
+    throw JsonError("scenario: faults loss_rate must be in [0, 1]");
+  }
+  if (f.link.corrupt_rate < 0.0 || f.link.corrupt_rate > 1.0) {
+    throw JsonError("scenario: faults corrupt_rate must be in [0, 1]");
+  }
   f.link.seed = get_uint(obj, "seed", f.link.seed);
   if (const Json* flaps = obj.find("flaps")) {
     for (const auto& fl : flaps->items()) {
@@ -168,6 +175,14 @@ FaultSpec parse_faults(const Json& obj) {
       flap.duration = sim::from_us(get_double(fl, "for_us", 0.0));
       flap.bandwidth_factor = get_double(fl, "factor", 0.0);
       f.link.flaps.push_back(flap);
+    }
+    // Catch broken schedules (zero-duration, factor out of range, windows
+    // overlapping) at parse time, when the error can still name the file,
+    // instead of when the Nth sweep point constructs its FaultPlan.
+    try {
+      net::validate_flap_schedule(f.link.flaps, "faults flaps");
+    } catch (const std::invalid_argument& e) {
+      throw JsonError("scenario: " + std::string(e.what()));
     }
   }
   if (const Json* kl = obj.find("kill_lender")) {
@@ -201,6 +216,110 @@ Json dump_faults(const FaultSpec& f) {
     kl.set("at_us", Json::number(f.kill_at_us));
     obj.set("kill_lender", std::move(kl));
   }
+  return obj;
+}
+
+ChaosSpec parse_chaos(const Json& obj) {
+  check_keys(obj, "chaos", {"seed", "events"});
+  ChaosSpec c;
+  c.seed = get_uint(obj, "seed", c.seed);
+  if (const Json* events = obj.find("events")) {
+    for (const auto& ev : events->items()) {
+      check_keys(ev, "chaos event",
+                 {"at_us", "kind", "target", "factor", "for_us"});
+      ChaosEventSpec spec;
+      spec.at_us = get_double(ev, "at_us", 0.0);
+      const std::string kind = get_string(ev, "kind", "");
+      try {
+        spec.kind = parse_chaos_kind(kind);
+      } catch (const std::invalid_argument& e) {
+        throw JsonError("scenario: " + std::string(e.what()));
+      }
+      spec.target = get_string(ev, "target", "");
+      spec.factor = get_double(ev, "factor", 0.0);
+      spec.for_us = get_double(ev, "for_us", 0.0);
+      c.events.push_back(std::move(spec));
+    }
+  }
+  // Resolve once now and discard: a malformed timeline (unmatched recover,
+  // overlapping windows, bad factors) fails at parse time with the event
+  // index, not deep inside cluster assembly.
+  try {
+    resolve_chaos(c);
+  } catch (const std::invalid_argument& e) {
+    throw JsonError("scenario: " + std::string(e.what()));
+  }
+  return c;
+}
+
+Json dump_chaos(const ChaosSpec& c) {
+  Json obj = Json::object();
+  obj.set("seed", Json::number(c.seed));
+  Json events = Json::array();
+  for (const auto& spec : c.events) {
+    Json ev = Json::object();
+    ev.set("at_us", Json::number(spec.at_us));
+    ev.set("kind", Json::string(to_string(spec.kind)));
+    ev.set("target", Json::string(spec.target));
+    ev.set("factor", Json::number(spec.factor));
+    ev.set("for_us", Json::number(spec.for_us));
+    events.push(std::move(ev));
+  }
+  obj.set("events", std::move(events));
+  return obj;
+}
+
+DetectorSpec parse_detector(const Json& obj) {
+  check_keys(obj, "detector",
+             {"enabled", "alpha", "latency_threshold", "timeout_weight",
+              "warmup", "confirm", "probe_interval", "rejoin_margin",
+              "rejoin_confirm"});
+  DetectorSpec d;
+  if (const Json* e = obj.find("enabled")) d.enabled = e->as_bool();
+  d.alpha = get_double(obj, "alpha", d.alpha);
+  d.latency_threshold =
+      get_double(obj, "latency_threshold", d.latency_threshold);
+  d.timeout_weight = get_double(obj, "timeout_weight", d.timeout_weight);
+  d.warmup = static_cast<std::uint32_t>(get_uint(obj, "warmup", d.warmup));
+  d.confirm = static_cast<std::uint32_t>(get_uint(obj, "confirm", d.confirm));
+  d.probe_interval = static_cast<std::uint32_t>(
+      get_uint(obj, "probe_interval", d.probe_interval));
+  d.rejoin_margin = get_double(obj, "rejoin_margin", d.rejoin_margin);
+  d.rejoin_confirm = static_cast<std::uint32_t>(
+      get_uint(obj, "rejoin_confirm", d.rejoin_confirm));
+  if (d.alpha <= 0.0 || d.alpha > 1.0) {
+    throw JsonError("scenario: detector alpha must be in (0, 1]");
+  }
+  if (d.latency_threshold <= 1.0) {
+    throw JsonError("scenario: detector latency_threshold must be > 1");
+  }
+  if (d.timeout_weight < 0.0) {
+    throw JsonError("scenario: detector timeout_weight must be >= 0");
+  }
+  if (d.warmup == 0 || d.confirm == 0) {
+    throw JsonError("scenario: detector warmup and confirm must be >= 1");
+  }
+  if (d.probe_interval == 0 || d.rejoin_confirm == 0) {
+    throw JsonError(
+        "scenario: detector probe_interval and rejoin_confirm must be >= 1");
+  }
+  if (d.rejoin_margin < 1.0) {
+    throw JsonError("scenario: detector rejoin_margin must be >= 1");
+  }
+  return d;
+}
+
+Json dump_detector(const DetectorSpec& d) {
+  Json obj = Json::object();
+  obj.set("enabled", Json::boolean(d.enabled));
+  obj.set("alpha", Json::number(d.alpha));
+  obj.set("latency_threshold", Json::number(d.latency_threshold));
+  obj.set("timeout_weight", Json::number(d.timeout_weight));
+  obj.set("warmup", Json::number(std::uint64_t{d.warmup}));
+  obj.set("confirm", Json::number(std::uint64_t{d.confirm}));
+  obj.set("probe_interval", Json::number(std::uint64_t{d.probe_interval}));
+  obj.set("rejoin_margin", Json::number(d.rejoin_margin));
+  obj.set("rejoin_confirm", Json::number(std::uint64_t{d.rejoin_confirm}));
   return obj;
 }
 
@@ -381,6 +500,127 @@ TopologyKind parse_topology_kind(const std::string& name) {
   throw JsonError("scenario: unknown topology kind \"" + name + "\"");
 }
 
+std::string to_string(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kKillSwitch: return "kill_switch";
+    case ChaosKind::kBrownoutPort: return "brownout_port";
+    case ChaosKind::kGrayLender: return "gray_lender";
+    case ChaosKind::kRecover: return "recover";
+  }
+  return "?";
+}
+
+ChaosKind parse_chaos_kind(const std::string& name) {
+  if (name == "kill_switch") return ChaosKind::kKillSwitch;
+  if (name == "brownout_port") return ChaosKind::kBrownoutPort;
+  if (name == "gray_lender") return ChaosKind::kGrayLender;
+  if (name == "recover") return ChaosKind::kRecover;
+  throw std::invalid_argument("unknown chaos event kind \"" + name +
+                              "\" (expected kill_switch, brownout_port, "
+                              "gray_lender or recover)");
+}
+
+std::vector<ChaosWindow> resolve_chaos(const ChaosSpec& chaos) {
+  std::vector<ChaosWindow> windows;
+  std::map<std::string, std::size_t> open;     // target -> open window index
+  std::map<std::string, sim::Time> last_end;   // target -> last bounded end
+  const auto at_event = [](std::size_t i) {
+    return "chaos event " + std::to_string(i);
+  };
+  for (std::size_t i = 0; i < chaos.events.size(); ++i) {
+    const ChaosEventSpec& ev = chaos.events[i];
+    if (ev.at_us < 0.0) {
+      throw std::invalid_argument(at_event(i) + ": at_us must be >= 0");
+    }
+    if (i > 0 && ev.at_us < chaos.events[i - 1].at_us) {
+      throw std::invalid_argument(
+          "chaos events " + std::to_string(i - 1) + " and " +
+          std::to_string(i) + " out of order (at_us must be non-decreasing)");
+    }
+    if (ev.target.empty()) {
+      throw std::invalid_argument(at_event(i) + ": target is required");
+    }
+    const sim::Time at = sim::from_us(ev.at_us);
+    if (ev.kind == ChaosKind::kRecover) {
+      if (ev.factor != 0.0 || ev.for_us != 0.0) {
+        throw std::invalid_argument(
+            at_event(i) + ": recover takes no factor or for_us");
+      }
+      const auto it = open.find(ev.target);
+      if (it == open.end()) {
+        throw std::invalid_argument(at_event(i) + ": recover for \"" +
+                                    ev.target +
+                                    "\" matches no open chaos window");
+      }
+      ChaosWindow& w = windows[it->second];
+      if (at <= w.start) {
+        throw std::invalid_argument(
+            at_event(i) + ": recover must come strictly after the \"" +
+            ev.target + "\" window opened");
+      }
+      w.end = at;
+      last_end[ev.target] = at;
+      open.erase(it);
+      continue;
+    }
+    switch (ev.kind) {
+      case ChaosKind::kKillSwitch:
+        if (ev.factor != 0.0) {
+          throw std::invalid_argument(at_event(i) +
+                                      ": kill_switch takes no factor");
+        }
+        break;
+      case ChaosKind::kBrownoutPort:
+        if (ev.factor < 0.0 || ev.factor >= 1.0) {
+          throw std::invalid_argument(
+              at_event(i) + ": brownout_port factor must be in [0, 1)");
+        }
+        if (ev.target.find(':') == std::string::npos) {
+          throw std::invalid_argument(
+              at_event(i) +
+              ": brownout_port target must be \"switch:neighbor\"");
+        }
+        break;
+      case ChaosKind::kGrayLender:
+        if (ev.factor <= 1.0) {
+          throw std::invalid_argument(
+              at_event(i) + ": gray_lender factor must be > 1 (it inflates "
+                            "service latency)");
+        }
+        break;
+      case ChaosKind::kRecover: break;  // handled above
+    }
+    if (ev.for_us < 0.0) {
+      throw std::invalid_argument(at_event(i) + ": for_us must be >= 0");
+    }
+    if (open.count(ev.target) != 0) {
+      throw std::invalid_argument(
+          at_event(i) + ": target \"" + ev.target +
+          "\" already has an open chaos window (recover it first)");
+    }
+    if (const auto le = last_end.find(ev.target);
+        le != last_end.end() && at < le->second) {
+      throw std::invalid_argument(at_event(i) +
+                                  " overlaps the previous window on \"" +
+                                  ev.target + "\"");
+    }
+    ChaosWindow w;
+    w.kind = ev.kind;
+    w.target = ev.target;
+    w.start = at;
+    w.end = sim::kTimeNever;
+    w.factor = ev.factor;
+    if (ev.for_us > 0.0) {
+      w.end = at + sim::from_us(ev.for_us);
+      last_end[ev.target] = w.end;
+    } else {
+      open[ev.target] = windows.size();
+    }
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
 const NodeDecl* ScenarioSpec::find_node(const std::string& node_name) const {
   for (const auto& n : nodes) {
     if (n.name == node_name) return &n;
@@ -409,8 +649,8 @@ void ScenarioSpec::set_borrower_count(std::uint32_t count) {
 ScenarioSpec from_json(const Json& doc) {
   check_keys(doc, "scenario",
              {"name", "description", "nodes", "topology", "injector", "policy",
-              "reservations", "workloads", "faults", "traffic", "slo", "pdes",
-              "sweep"});
+              "reservations", "workloads", "faults", "chaos", "detector",
+              "traffic", "slo", "pdes", "sweep"});
   ScenarioSpec spec;
   spec.name = get_string(doc, "name", spec.name);
   spec.description = get_string(doc, "description", "");
@@ -485,6 +725,10 @@ ScenarioSpec from_json(const Json& doc) {
   }
 
   if (const Json* f = doc.find("faults")) spec.faults = parse_faults(*f);
+  if (const Json* c = doc.find("chaos")) spec.chaos = parse_chaos(*c);
+  if (const Json* d = doc.find("detector")) {
+    spec.detector = parse_detector(*d);
+  }
   if (const Json* t = doc.find("traffic")) spec.traffic = parse_traffic(*t);
   if (const Json* s = doc.find("slo")) spec.slo = parse_slo(*s);
 
@@ -590,6 +834,8 @@ Json to_json(const ScenarioSpec& spec) {
   doc.set("workloads", std::move(ws));
 
   doc.set("faults", dump_faults(spec.faults));
+  doc.set("chaos", dump_chaos(spec.chaos));
+  doc.set("detector", dump_detector(spec.detector));
   doc.set("traffic", dump_traffic(spec.traffic));
   doc.set("slo", dump_slo(spec.slo));
 
@@ -771,12 +1017,58 @@ ScenarioSpec serving_diurnal() {
   return spec;
 }
 
+ScenarioSpec chaos_rack() {
+  ScenarioSpec spec = serving_diurnal();
+  spec.name = "chaos-rack";
+  spec.description =
+      "Gray-failure chaos drill on the serving rack: lender0 turns gray (6x "
+      "service inflation) at the ramp, a leaf0->spine1 port browns out, and "
+      "spine2 is killed outright; the online health detector re-stripes and "
+      "migrates sources before the timeout budget burns down";
+  // Steady offered load (no diurnal swing) so every p99 excursion in the
+  // bench is attributable to a chaos window, not the arrival process.  The
+  // rate is sized so the gray lender stays *below* its inflated capacity:
+  // a true gray failure serves every request, just slowly -- queueing
+  // pushes p99 far past target while staying under the 200us timeout, so
+  // the timeout-only baseline never reacts and rides out the whole window.
+  spec.traffic.process = "poisson";
+  spec.traffic.rate_rps = 2.0e5;
+  spec.traffic.duration_us = 16'000.0;
+  spec.traffic.seed = 20260808;
+  spec.faults.kill_lender.clear();  // chaos timeline drives all failures
+  spec.faults.kill_at_us = 0.0;
+
+  // The bench scores each chaos event by how many SLO windows stay
+  // p99-degraded; 500us windows give ~100 outcomes per window at this rate.
+  // The p99 bar sits between the healthy plateau (~6us round-trips) and the
+  // gray lender's queueing plateau (~25-30us), so a window is degraded for
+  // exactly as long as traffic still rides the gray lender.
+  spec.slo.window_us = 500.0;
+  spec.slo.p99_us = 20.0;
+
+  // 6x inflation: gray round-trips run ~5x the healthy baseline -- far
+  // past latency_threshold (sick in a handful of completions) and past
+  // rejoin_margin even when the lender idles under probe-only load, yet
+  // comfortably inside the request timeout.
+  spec.chaos.seed = 7;
+  spec.chaos.events = {
+      {2'000.0, ChaosKind::kGrayLender, "lender0", 6.0, 0.0},
+      {6'000.0, ChaosKind::kRecover, "lender0", 0.0, 0.0},
+      {8'000.0, ChaosKind::kBrownoutPort, "leaf0:spine1", 0.25, 2'000.0},
+      {11'000.0, ChaosKind::kKillSwitch, "spine2", 0.0, 0.0},
+      {14'000.0, ChaosKind::kRecover, "spine2", 0.0, 0.0},
+  };
+  spec.detector.enabled = true;
+  return spec;
+}
+
 std::optional<ScenarioSpec> builtin(const std::string& name) {
   if (name == "paper_twonode") return paper_two_node();
   if (name == "pooling_1xN") return pooling_1xN();
   if (name == "trunk_contention") return shared_trunk();
   if (name == "leafspine_rack128") return leafspine_rack();
   if (name == "serving_diurnal") return serving_diurnal();
+  if (name == "chaos_rack") return chaos_rack();
   return std::nullopt;
 }
 

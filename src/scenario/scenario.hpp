@@ -112,6 +112,84 @@ struct FaultSpec {
   bool enabled() const { return link.enabled() || !kill_lender.empty(); }
 };
 
+/// Fabric chaos event kinds (the scripted gray-failure timeline).
+enum class ChaosKind {
+  kKillSwitch,    ///< the named switch hard-drops every frame
+  kBrownoutPort,  ///< one switch egress port degrades ("switch:neighbor")
+  kGrayLender,    ///< the named lender serves, but `factor`x slower
+  kRecover,       ///< close the target's most recent open window
+};
+
+std::string to_string(ChaosKind kind);
+ChaosKind parse_chaos_kind(const std::string& name);
+
+/// One scripted chaos event.  `target` is a switch name suffix ("spine1"),
+/// a "switch:neighbor" egress port ("leaf0:spine1"), or an expanded lender
+/// name ("lender0").  `factor` is the brownout bandwidth factor in [0, 1)
+/// or the gray-lender service inflation (> 1); unused for kill/recover.
+/// `for_us` > 0 bounds the window without a matching recover event.
+struct ChaosEventSpec {
+  double at_us = 0.0;
+  ChaosKind kind = ChaosKind::kKillSwitch;
+  std::string target;
+  double factor = 0.0;
+  double for_us = 0.0;
+
+  friend bool operator==(const ChaosEventSpec&,
+                         const ChaosEventSpec&) = default;
+};
+
+/// The scripted chaos timeline.  Events must be listed in non-decreasing
+/// at_us order; resolve_chaos() turns them into closed windows and rejects
+/// malformed timelines (unmatched recover, overlapping windows on one
+/// target, out-of-range factors).
+struct ChaosSpec {
+  std::uint64_t seed = 1;  ///< gray-lender jitter stream seed
+  std::vector<ChaosEventSpec> events;
+
+  bool enabled() const { return !events.empty(); }
+};
+
+/// One resolved chaos window: [start, end) of a non-recover event.  An
+/// event never closed (no recover, no for_us) runs to sim::kTimeNever.
+struct ChaosWindow {
+  ChaosKind kind = ChaosKind::kKillSwitch;
+  std::string target;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  double factor = 0.0;
+};
+
+/// Validate the timeline and resolve it into per-target windows (stable
+/// event order).  Throws std::invalid_argument naming the offending event
+/// index.  node::Cluster applies the switch windows at assembly;
+/// core/run_serving applies the gray-lender windows; bench/chaos_mttr
+/// scores recovery per window.
+std::vector<ChaosWindow> resolve_chaos(const ChaosSpec& chaos);
+
+/// Online gray-failure detector settings (ctrl/health.hpp) for the serving
+/// loop.  Disabled by default: the baseline behavior is timeout-driven
+/// failover only, which is exactly what bench/chaos_mttr compares against.
+struct DetectorSpec {
+  bool enabled = false;
+  double alpha = 0.3;
+  double latency_threshold = 3.0;
+  double timeout_weight = 10.0;
+  std::uint32_t warmup = 16;
+  std::uint32_t confirm = 3;
+  /// After migrating off a sick primary, every Nth dispatch probes it.
+  std::uint32_t probe_interval = 16;
+  /// A probe is "good" when it completes within rejoin_margin x the healthy
+  /// baseline snapshot -- deliberately tighter than latency_threshold, so a
+  /// lender that is merely less gray does not win the traffic back.
+  double rejoin_margin = 1.5;
+  /// Consecutive good probes before the source rejoins its recovered
+  /// primary.
+  std::uint32_t rejoin_confirm = 3;
+
+  friend bool operator==(const DetectorSpec&, const DetectorSpec&) = default;
+};
+
 /// A workload binding: which driver a scenario-driven bench should run on
 /// each borrower and where its arrays live.
 struct WorkloadSpec {
@@ -200,6 +278,8 @@ struct ScenarioSpec {
   std::vector<ReservationSpec> reservations;
   std::vector<WorkloadSpec> workloads;
   FaultSpec faults;
+  ChaosSpec chaos;
+  DetectorSpec detector;
   TrafficSpec traffic;
   SloSpec slo;
   PdesSpec pdes;
@@ -246,6 +326,12 @@ ScenarioSpec leafspine_rack(std::uint32_t borrowers = 128);
 /// offering a diurnal open-loop load against declared p50/p99/p999 SLOs,
 /// with a lender killed mid-cycle to exercise reactive re-placement.
 ScenarioSpec serving_diurnal();
+/// Gray-failure chaos drill on the serving rack: the diurnal serving tier
+/// with a scripted timeline -- a gray lender (8x service inflation), a
+/// spine-port brownout, and a killed spine -- and the online detector
+/// enabled so sources re-stripe/migrate before timeouts exhaust the retry
+/// budget.  bench/chaos_mttr runs it with the detector on and off.
+ScenarioSpec chaos_rack();
 
 /// Look up a built-in by its scenario file stem ("paper_twonode",
 /// "pooling_1xN", "trunk_contention", "leafspine_rack128"); nullopt when

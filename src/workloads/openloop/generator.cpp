@@ -35,7 +35,7 @@ void OpenLoopSource::on_arrival(sim::Time t) {
     // must shed — blocking the arrival stream would silently convert the
     // workload back into a closed loop.
     ++counters_.shed;
-    if (observer_) observer_(t, t, RequestOutcome::kShed);
+    if (observer_) observer_(t, t, RequestOutcome::kShed, kNoRequestId);
   }
   schedule_next_arrival();
 }
@@ -73,7 +73,7 @@ void OpenLoopSource::finish(std::uint64_t req_id, sim::Time t,
     case RequestOutcome::kFailed: ++counters_.failed; break;
     case RequestOutcome::kShed: ++counters_.shed; break;  // sinks never shed
   }
-  if (observer_) observer_(arrival, t, outcome);
+  if (observer_) observer_(arrival, t, outcome, req_id);
   drain_queue(t);
 }
 

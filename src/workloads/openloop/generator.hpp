@@ -70,10 +70,18 @@ class OpenLoopSource {
   /// Invoked on the source's engine when a request enters service.
   using DispatchFn =
       std::function<void(sim::Time now, std::uint64_t req_id, CompletionFn)>;
+  /// Request id reported to the observer for requests shed before dispatch
+  /// (they never received one).
+  static constexpr std::uint64_t kNoRequestId = ~std::uint64_t{0};
   /// Per-request record, fired once per offered request at its terminal
-  /// transition (arrival == terminal time for shed requests).
+  /// transition (arrival == terminal time for shed requests).  `req_id` is
+  /// the dispatch id (the same one the DispatchFn saw) so control layers
+  /// can attribute outcomes — including timeouts, which never pass through
+  /// the sink's CompletionFn — to the requests they tagged; kNoRequestId
+  /// for shed requests.
   using ObserverFn = std::function<void(sim::Time arrival, sim::Time terminal,
-                                        RequestOutcome outcome)>;
+                                        RequestOutcome outcome,
+                                        std::uint64_t req_id)>;
 
   OpenLoopSource(sim::Engine& engine, OpenLoopConfig cfg, DispatchFn dispatch);
 

@@ -1,0 +1,205 @@
+// HealthDetector: warmup/baseline semantics, the EWMA score model, the
+// confirmation streak, and the two reset flavors the serving reaction
+// policy depends on (soft_reset keeps the baseline, reset forgets it).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ctrl/health.hpp"
+
+namespace tfsim::ctrl {
+namespace {
+
+HealthConfig quick_cfg() {
+  HealthConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.latency_threshold = 3.0;
+  cfg.timeout_weight = 10.0;
+  cfg.warmup = 4;
+  cfg.confirm = 3;
+  return cfg;
+}
+
+/// Feed `n` identical healthy completions.
+void warm_up(HealthDetector& d, double us, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) d.observe_latency(us);
+}
+
+TEST(HealthDetectorTest, ConstructorRejectsBadConfig) {
+  HealthConfig cfg = quick_cfg();
+  cfg.alpha = 0.0;
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.alpha = 1.5;
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.latency_threshold = 1.0;  // 1.0 == the healthy baseline itself
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.timeout_weight = -0.1;
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.warmup = 0;
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  cfg = quick_cfg();
+  cfg.confirm = 0;
+  EXPECT_THROW(HealthDetector{cfg}, std::invalid_argument);
+  EXPECT_THROW(HealthDetector{quick_cfg()}.observe_latency(-1.0),
+               std::invalid_argument);
+}
+
+TEST(HealthDetectorTest, NeverSickDuringWarmup) {
+  HealthDetector d(quick_cfg());
+  // Wildly bad observations during warmup must not trip the detector: it
+  // does not yet know what healthy means.
+  d.observe_latency(1000.0);
+  d.observe_timeout();
+  d.observe_latency(5000.0);
+  EXPECT_FALSE(d.sick());
+  EXPECT_FALSE(d.warmed_up());
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 0.0);
+  EXPECT_DOUBLE_EQ(d.latency_score(), 0.0);
+}
+
+TEST(HealthDetectorTest, BaselineIsWarmupMeanAndFreezes) {
+  HealthDetector d(quick_cfg());
+  d.observe_latency(4.0);
+  d.observe_latency(6.0);
+  d.observe_latency(5.0);
+  d.observe_latency(5.0);
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 5.0);
+  // Post-warmup observations move the EWMA, never the baseline.
+  warm_up(d, 50.0, 10);
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 5.0);
+}
+
+TEST(HealthDetectorTest, HealthyTrafficStaysHealthy) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 200);
+  EXPECT_FALSE(d.sick());
+  EXPECT_NEAR(d.score(), 1.0, 1e-9);  // exactly at baseline
+  EXPECT_EQ(d.observations(), 200u);
+}
+
+TEST(HealthDetectorTest, LatencyInflationTripsAfterConfirmStreak) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  // 6x inflation: ewma climbs 5 -> 12.5 -> 17.75 -> 21.4 -> ...; the score
+  // crosses 3.0 on the second sample, so the confirm=3 streak completes on
+  // the fourth -- early enough to beat a 4-timeout failover budget.
+  d.observe_latency(30.0);
+  EXPECT_FALSE(d.sick());
+  d.observe_latency(30.0);
+  EXPECT_FALSE(d.sick());
+  d.observe_latency(30.0);
+  EXPECT_FALSE(d.sick());
+  d.observe_latency(30.0);
+  EXPECT_TRUE(d.sick());
+  EXPECT_FALSE(d.timeout_dominated()) << "no timeouts: the gray signature";
+}
+
+TEST(HealthDetectorTest, SingleStraySlowSampleDoesNotTrip) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  // One 8x stray: ewma jumps to 15.5 (score 3.1, streak 1), but the next
+  // healthy completion decays it back under the threshold and the streak
+  // resets before confirm=3 is reached.
+  d.observe_latency(40.0);
+  EXPECT_FALSE(d.sick());
+  warm_up(d, 5.0, 50);
+  EXPECT_FALSE(d.sick());
+  EXPECT_NEAR(d.score(), 1.0, 0.01);
+}
+
+TEST(HealthDetectorTest, ConsecutiveTimeoutsTripTimeoutDominated) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  // timeout_score after k timeouts: 10 * (1 - 0.7^k) = 3.0, 5.1, 6.57...
+  // and the at-baseline latency EWMA keeps contributing 1.0, so every
+  // timeout scores over the threshold: the confirm=3 streak completes on
+  // the third -- one observation before a 4-timeout failover budget would
+  // fire its walk.
+  d.observe_timeout();
+  EXPECT_FALSE(d.sick());
+  d.observe_timeout();
+  EXPECT_FALSE(d.sick());
+  d.observe_timeout();
+  EXPECT_TRUE(d.sick());
+  EXPECT_TRUE(d.timeout_dominated()) << "the dead-path signature";
+}
+
+TEST(HealthDetectorTest, SickLatchesUntilReset) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  for (int i = 0; i < 4; ++i) d.observe_timeout();
+  ASSERT_TRUE(d.sick());
+  // A few good completions drop the score but the verdict stays latched:
+  // the reaction layer decides when the episode is over, not the score.
+  warm_up(d, 5.0, 20);
+  EXPECT_TRUE(d.sick());
+}
+
+TEST(HealthDetectorTest, SoftResetKeepsBaseline) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  for (int i = 0; i < 4; ++i) d.observe_timeout();
+  ASSERT_TRUE(d.sick());
+  d.soft_reset();
+  EXPECT_FALSE(d.sick());
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 5.0) << "same lender, new path: the "
+                                            "healthy baseline still applies";
+  EXPECT_NEAR(d.score(), 1.0, 1e-9);
+  // And it can trip again on fresh evidence.
+  for (int i = 0; i < 4; ++i) d.observe_timeout();
+  EXPECT_TRUE(d.sick());
+}
+
+TEST(HealthDetectorTest, ResetForgetsEverything) {
+  HealthDetector d(quick_cfg());
+  warm_up(d, 5.0, 4);
+  for (int i = 0; i < 4; ++i) d.observe_timeout();
+  ASSERT_TRUE(d.sick());
+  d.reset();
+  EXPECT_FALSE(d.sick());
+  EXPECT_FALSE(d.warmed_up()) << "a different lender: relearn the baseline";
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 0.0);
+  // Re-warms against the new target's numbers.
+  warm_up(d, 20.0, 4);
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_DOUBLE_EQ(d.baseline_us(), 20.0);
+}
+
+TEST(HealthDetectorTest, TimeoutsDuringWarmupAreIgnored) {
+  HealthDetector d(quick_cfg());
+  d.observe_timeout();
+  d.observe_timeout();
+  EXPECT_DOUBLE_EQ(d.timeout_score(), 0.0);
+  warm_up(d, 5.0, 4);
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_FALSE(d.sick());
+}
+
+TEST(HealthDetectorTest, DeterministicGivenSameObservationSequence) {
+  HealthDetector a(quick_cfg());
+  HealthDetector b(quick_cfg());
+  const auto feed = [](HealthDetector& d) {
+    for (int i = 0; i < 50; ++i) {
+      if (i % 7 == 3) {
+        d.observe_timeout();
+      } else {
+        d.observe_latency(5.0 + static_cast<double>(i % 5));
+      }
+    }
+  };
+  feed(a);
+  feed(b);
+  EXPECT_EQ(a.sick(), b.sick());
+  EXPECT_DOUBLE_EQ(a.score(), b.score());
+  EXPECT_DOUBLE_EQ(a.baseline_us(), b.baseline_us());
+  EXPECT_EQ(a.observations(), b.observations());
+}
+
+}  // namespace
+}  // namespace tfsim::ctrl

@@ -297,5 +297,72 @@ TEST(NetworkFaultTest, IdenticalSpecsReproduceTheFaultSequence) {
   }
 }
 
+// --- flap schedule search ------------------------------------------------
+
+// Linear reference for active_window: first (only, post-validation) window
+// covering t.
+const FlapSpec* linear_active(const std::vector<FlapSpec>& sorted,
+                              sim::Time t) {
+  for (const FlapSpec& w : sorted) {
+    if (w.start <= t && t < w.end()) return &w;
+  }
+  return nullptr;
+}
+
+TEST(FlapScheduleTest, BinarySearchMatchesLinearReference) {
+  // A long pseudo-random schedule (mix64-driven, so the test is a pure
+  // function of the constants): windows with random gaps and durations,
+  // alternating hard-down and degraded.
+  std::vector<FlapSpec> schedule;
+  sim::Time cursor = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const sim::Time gap = 1 + mix64(i * 2 + 1) % 1000;
+    const sim::Time dur = 1 + mix64(i * 2 + 2) % 500;
+    cursor += gap;
+    schedule.push_back(FlapSpec{cursor, dur, (i % 2) ? 0.5 : 0.0});
+    cursor += dur;
+  }
+  validate_flap_schedule(schedule, "test schedule");
+
+  // Probe every boundary and its neighbours plus interior points: the
+  // binary search must agree with the linear scan everywhere.
+  for (const FlapSpec& w : schedule) {
+    for (const sim::Time t :
+         {w.start - 1, w.start, w.start + w.duration / 2, w.end() - 1,
+          w.end()}) {
+      EXPECT_EQ(active_window(schedule, t), linear_active(schedule, t))
+          << "t=" << t;
+    }
+  }
+  EXPECT_EQ(active_window(schedule, 0), linear_active(schedule, 0));
+  EXPECT_EQ(active_window(schedule, cursor + 12345), nullptr);
+  EXPECT_EQ(active_window({}, 42), nullptr);
+}
+
+TEST(FlapScheduleTest, OverlapRejectionNamesTheWindows) {
+  std::vector<FlapSpec> overlapping = {FlapSpec{0, 100, 0.0},
+                                       FlapSpec{50, 100, 0.5}};
+  try {
+    validate_flap_schedule(overlapping, "spine1 down windows");
+    FAIL() << "overlap must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spine1 down windows"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("windows 0 and 1"), std::string::npos) << msg;
+  }
+
+  // Validation sorts first, so declaration order does not hide an overlap.
+  std::vector<FlapSpec> reversed = {FlapSpec{50, 100, 0.5},
+                                    FlapSpec{0, 100, 0.0}};
+  EXPECT_THROW(validate_flap_schedule(reversed, "x"), std::invalid_argument);
+
+  // Back-to-back windows (end == next start) are legal: the boundary
+  // instant belongs to the later window only.
+  std::vector<FlapSpec> adjacent = {FlapSpec{0, 100, 0.0},
+                                    FlapSpec{100, 100, 0.5}};
+  validate_flap_schedule(adjacent, "adjacent");
+  EXPECT_EQ(active_window(adjacent, 100), &adjacent[1]);
+}
+
 }  // namespace
 }  // namespace tfsim::net

@@ -296,5 +296,151 @@ TEST(ScenarioJsonTest, InvalidValuesRejected) {
   EXPECT_THROW(parse(R"({"name": 42})"), JsonError);  // kind mismatch
 }
 
+// --- chaos timeline + detector ------------------------------------------
+
+TEST(ScenarioChaosTest, ChaosAndDetectorBlocksParse) {
+  const ScenarioSpec spec = parse(R"({
+    "name": "chaotic",
+    "nodes": [
+      {"name": "b", "role": "borrower", "count": 4},
+      {"name": "l", "role": "lender", "count": 4}
+    ],
+    "topology": {"kind": "leaf_spine", "leaves": 2, "spines": 2},
+    "chaos": {
+      "seed": 11,
+      "events": [
+        {"at_us": 100, "kind": "gray_lender", "target": "l0", "factor": 6},
+        {"at_us": 300, "kind": "recover", "target": "l0"},
+        {"at_us": 400, "kind": "brownout_port", "target": "leaf0:spine1",
+         "factor": 0.25, "for_us": 100},
+        {"at_us": 600, "kind": "kill_switch", "target": "spine0"}
+      ]
+    },
+    "detector": {"enabled": true, "alpha": 0.5, "latency_threshold": 2.5,
+                 "timeout_weight": 8, "warmup": 8, "confirm": 2,
+                 "probe_interval": 4, "rejoin_margin": 1.25,
+                 "rejoin_confirm": 2}
+  })");
+
+  EXPECT_TRUE(spec.chaos.enabled());
+  EXPECT_EQ(spec.chaos.seed, 11u);
+  ASSERT_EQ(spec.chaos.events.size(), 4u);
+  EXPECT_EQ(spec.chaos.events[0].kind, ChaosKind::kGrayLender);
+  EXPECT_DOUBLE_EQ(spec.chaos.events[0].factor, 6.0);
+  EXPECT_EQ(spec.chaos.events[3].kind, ChaosKind::kKillSwitch);
+  EXPECT_EQ(spec.chaos.events[3].target, "spine0");
+
+  EXPECT_TRUE(spec.detector.enabled);
+  EXPECT_DOUBLE_EQ(spec.detector.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(spec.detector.latency_threshold, 2.5);
+  EXPECT_EQ(spec.detector.warmup, 8u);
+  EXPECT_DOUBLE_EQ(spec.detector.rejoin_margin, 1.25);
+  EXPECT_EQ(spec.detector.rejoin_confirm, 2u);
+
+  // The timeline resolves into windows: gray closed by its recover,
+  // brownout closed by for_us, kill left open (runs to the horizon).
+  const auto windows = resolve_chaos(spec.chaos);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].kind, ChaosKind::kGrayLender);
+  EXPECT_EQ(windows[0].end, sim::from_us(300.0));
+  EXPECT_EQ(windows[1].end, sim::from_us(500.0));
+  EXPECT_EQ(windows[2].kind, ChaosKind::kKillSwitch);
+  EXPECT_EQ(windows[2].end, sim::kTimeNever);
+
+  const std::string dumped = resolved_json(spec);
+  EXPECT_EQ(resolved_json(parse(dumped)), dumped);
+}
+
+TEST(ScenarioChaosTest, ChaosRackBuiltinRoundTripsExactly) {
+  for (const char* name : {"chaos_rack", "serving_diurnal"}) {
+    const ScenarioSpec spec = *builtin(name);
+    const std::string dumped = resolved_json(spec);
+    EXPECT_EQ(resolved_json(parse(dumped)), dumped) << name;
+  }
+}
+
+TEST(ScenarioChaosTest, MalformedTimelineFailsAtParseNamingTheEvent) {
+  const auto chaos_doc = [](const std::string& events) {
+    return R"({"nodes": [{"name": "b"}], "chaos": {"events": [)" + events +
+           "]}}";
+  };
+  const auto expect_message = [&](const std::string& events,
+                                  const std::string& needle) {
+    try {
+      parse(chaos_doc(events));
+      FAIL() << "expected rejection mentioning \"" << needle << "\"";
+    } catch (const JsonError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Unmatched recover: nothing open on the target.
+  expect_message(
+      R"({"at_us": 10, "kind": "recover", "target": "spine0"})",
+      "chaos event 0: recover for \"spine0\" matches no open chaos window");
+  // Double-open on one target without a recover in between.
+  expect_message(
+      R"({"at_us": 10, "kind": "kill_switch", "target": "spine0"},
+         {"at_us": 20, "kind": "kill_switch", "target": "spine0"})",
+      "chaos event 1: target \"spine0\" already has an open chaos window");
+  // A bounded window the next event overlaps.
+  expect_message(
+      R"({"at_us": 10, "kind": "kill_switch", "target": "spine0",
+          "for_us": 100},
+         {"at_us": 50, "kind": "kill_switch", "target": "spine0"})",
+      "chaos event 1 overlaps the previous window on \"spine0\"");
+  // Out-of-order timeline.
+  expect_message(
+      R"({"at_us": 50, "kind": "kill_switch", "target": "spine0"},
+         {"at_us": 10, "kind": "kill_switch", "target": "spine1"})",
+      "chaos events 0 and 1 out of order");
+  // Factor validation per kind.
+  expect_message(
+      R"({"at_us": 10, "kind": "gray_lender", "target": "l0", "factor": 1})",
+      "chaos event 0: gray_lender factor must be > 1");
+  expect_message(
+      R"({"at_us": 10, "kind": "brownout_port", "target": "leaf0:spine0",
+          "factor": 1.5})",
+      "chaos event 0: brownout_port factor must be in [0, 1)");
+  expect_message(
+      R"({"at_us": 10, "kind": "brownout_port", "target": "leaf0",
+          "factor": 0.5})",
+      "chaos event 0: brownout_port target must be \"switch:neighbor\"");
+  expect_message(
+      R"({"at_us": 10, "kind": "kill_switch", "target": "spine0",
+          "factor": 0.5})",
+      "chaos event 0: kill_switch takes no factor");
+
+  // Unknown kinds and keys are scenario-level errors too.
+  EXPECT_THROW(parse(chaos_doc(
+                   R"({"at_us": 1, "kind": "meteor", "target": "spine0"})")),
+               JsonError);
+  EXPECT_THROW(parse(chaos_doc(
+                   R"({"at": 1, "kind": "kill_switch", "target": "s"})")),
+               JsonError);
+}
+
+TEST(ScenarioChaosTest, DetectorValidationRejectsBadKnobs) {
+  const auto detector_doc = [](const std::string& body) {
+    return R"({"nodes": [{"name": "b"}], "detector": {)" + body + "}}";
+  };
+  EXPECT_THROW(parse(detector_doc(R"("alpha": 0)")), JsonError);
+  EXPECT_THROW(parse(detector_doc(R"("alpha": 1.5)")), JsonError);
+  EXPECT_THROW(parse(detector_doc(R"("latency_threshold": 1)")), JsonError);
+  EXPECT_THROW(parse(detector_doc(R"("rejoin_margin": 0.9)")), JsonError)
+      << "a margin under 1x the healthy baseline can never be met";
+  EXPECT_THROW(parse(detector_doc(R"("warmup": 0)")), JsonError);
+  EXPECT_THROW(parse(detector_doc(R"("confirm": 0)")), JsonError);
+  EXPECT_THROW(parse(detector_doc(R"("sensitivity": 2)")), JsonError)
+      << "unknown detector key";
+  // Defaults parse clean and round-trip.
+  const ScenarioSpec spec = parse(detector_doc(R"("enabled": true)"));
+  EXPECT_TRUE(spec.detector.enabled);
+  EXPECT_DOUBLE_EQ(spec.detector.rejoin_margin, 1.5);
+  const std::string dumped = resolved_json(spec);
+  EXPECT_EQ(resolved_json(parse(dumped)), dumped);
+}
+
 }  // namespace
 }  // namespace tfsim::scenario

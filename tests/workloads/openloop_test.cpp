@@ -221,12 +221,16 @@ TEST(OpenLoopSourceTest, ObserverFiresOncePerOfferedRequest) {
   std::uint64_t fires = 0;
   std::uint64_t shed_fires = 0;
   src.set_observer([&](sim::Time arrival, sim::Time terminal,
-                       RequestOutcome outcome) {
+                       RequestOutcome outcome, std::uint64_t req_id) {
     ++fires;
     EXPECT_GE(terminal, arrival);
     if (outcome == RequestOutcome::kShed) {
       ++shed_fires;
       EXPECT_EQ(terminal, arrival) << "shed happens on the spot";
+      EXPECT_EQ(req_id, OpenLoopSource::kNoRequestId);
+    } else {
+      EXPECT_NE(req_id, OpenLoopSource::kNoRequestId)
+          << "dispatched requests carry their dispatch id";
     }
   });
   src.start();

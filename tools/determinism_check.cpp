@@ -49,6 +49,13 @@
 //      8 workers; the report's canonical serialization (every per-source
 //      counter, SLO window, and latency digest) must be byte-identical,
 //      and the kill must actually trigger failovers or it proved nothing.
+//  11. fabric chaos + online detection: a compressed chaos_rack timeline
+//      (gray lender, browned-out port, spine kill) with the health
+//      detector enabled -- per-source EWMA scoring, ECMP re-stripes,
+//      migrations and rejoin probing are all per-source local state, so
+//      the serial and 8-worker serializations must be byte-identical, and
+//      the chaos must actually trigger re-stripes and migrations or the
+//      reactive paths went unexercised.
 //
 // Exit code 0 when both runs agree, 1 with a diff otherwise.  Wired into
 // ctest and the `determinism_check` CMake target.
@@ -731,6 +738,65 @@ bool scenario_serving(std::uint64_t seed, std::ostringstream& out) {
   return match;
 }
 
+// Scenario 11: fabric chaos with the online detector.  A half-length
+// chaos_rack timeline (every chaos event and the SLO window scaled with the
+// horizon) so gray-lender detection, ECMP re-striping, migration and rejoin
+// probing all fire inside the run.  All reactive state is per-source local,
+// so the canonical serialization must match from 1 to 8 workers.
+tfsim::core::ServingReport chaos_traffic(std::uint64_t seed,
+                                         unsigned threads) {
+  auto spec = *tfsim::scenario::builtin("chaos_rack");
+  const double scale = 0.5;
+  spec.traffic.seed = seed;
+  spec.traffic.duration_us *= scale;
+  spec.slo.window_us *= scale;
+  for (auto& ev : spec.chaos.events) {
+    ev.at_us *= scale;
+    ev.for_us *= scale;
+  }
+  spec.pdes.threads = threads;
+  setenv("TFSIM_PDES", std::to_string(threads).c_str(), 1);
+  tfsim::node::Cluster cluster(spec);
+  return tfsim::core::run_serving(cluster);
+}
+
+bool scenario_chaos(std::uint64_t seed, std::ostringstream& out) {
+  const char* env = std::getenv("TFSIM_PDES");
+  const std::string saved = env != nullptr ? env : "";
+  const bool had_env = env != nullptr;
+
+  const tfsim::core::ServingReport serial = chaos_traffic(seed, 1);
+  const tfsim::core::ServingReport parallel = chaos_traffic(seed, 8);
+
+  if (had_env) {
+    setenv("TFSIM_PDES", saved.c_str(), 1);
+  } else {
+    unsetenv("TFSIM_PDES");
+  }
+
+  const bool reacted = serial.restripes > 0 && serial.failovers > 0;
+  const bool match = serial.serialized == parallel.serialized && reacted;
+  out << "chaos: digest=" << serial.digest
+      << " completed=" << serial.totals.completed
+      << " restripes=" << serial.restripes
+      << " failovers=" << serial.failovers << " rejoins=" << serial.rejoins
+      << " gray_inflated=" << serial.gray_inflated
+      << " chaos_drops=" << serial.switch_chaos_drops
+      << " serial==8-thread="
+      << (serial.serialized == parallel.serialized ? "yes" : "NO") << "\n";
+  if (serial.serialized != parallel.serialized) {
+    std::fprintf(stderr,
+                 "determinism_check: chaos scenario diverged across thread "
+                 "counts\n--- serial ---\n%s\n--- 8 threads ---\n%s\n",
+                 serial.serialized.c_str(), parallel.serialized.c_str());
+  } else if (!reacted) {
+    std::fprintf(stderr,
+                 "determinism_check: chaos scenario never re-striped or "
+                 "migrated -- the detector reaction paths went unexercised\n");
+  }
+  return match;
+}
+
 std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   std::ostringstream out;
   scenario_engine(seed, out);
@@ -743,6 +809,7 @@ std::string run_all(std::uint64_t seed, bool& sweep_ok) {
   sweep_ok = scenario_pdes(seed, out) && sweep_ok;
   sweep_ok = scenario_fabric(seed, out) && sweep_ok;
   sweep_ok = scenario_serving(seed, out) && sweep_ok;
+  sweep_ok = scenario_chaos(seed, out) && sweep_ok;
   return out.str();
 }
 

@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
   if (names.empty()) {
     names = {"paper_twonode", "pooling_1xN", "trunk_contention",
-             "leafspine_rack128", "serving_diurnal"};
+             "leafspine_rack128", "serving_diurnal", "chaos_rack"};
   }
   bool ok = true;
   for (const auto& n : names) ok = smoke(n) && ok;
